@@ -1,0 +1,255 @@
+//! Moldy: molecular-dynamics with domain decomposition (Refson's Moldy,
+//! run by the paper with the `tip4p` water input on 256 processes,
+//! Table 3).
+//!
+//! Each timestep: exchange boundary atoms with the 6 spatial neighbours,
+//! compute short-range forces (the dominant cost), integrate, and reduce
+//! the system energy. Every `rebuild_every` steps the neighbour list is
+//! rebuilt with an extra all-gather of cell occupancy — a second,
+//! lower-weight phase family, matching the paper's Table 3 profile
+//! (13 phases total, 4 relevant, weights spanning 10⁴–2·10⁵).
+
+use crate::util::{near_cube_grid, SplitMix, StateReader, StateWriter};
+use bytes::Bytes;
+use pas2p_machine::Work;
+use pas2p_mpisim::Mpi;
+use pas2p_signature::{MpiApp, RankProgram};
+
+/// The Moldy application.
+pub struct MoldyApp {
+    /// Number of processes (3-D grid).
+    pub nprocs: u32,
+    /// MD timesteps (the paper's tip4p run had phase weights up to
+    /// 200 000; scaled here).
+    pub steps: u64,
+    /// Rebuild the neighbour list every this many steps.
+    pub rebuild_every: u64,
+    /// Atoms per process.
+    pub atoms_per_proc: u32,
+}
+
+impl MoldyApp {
+    /// Table 3 configuration: tip4p-like input, 256 processes (scaled).
+    pub fn tip4p(nprocs: u32) -> MoldyApp {
+        MoldyApp {
+            nprocs,
+            steps: 100,
+            rebuild_every: 10,
+            atoms_per_proc: 2048,
+        }
+    }
+}
+
+impl MpiApp for MoldyApp {
+    fn name(&self) -> String {
+        "Moldy".into()
+    }
+    fn nprocs(&self) -> u32 {
+        self.nprocs
+    }
+    fn workload(&self) -> String {
+        format!("tip4p ({} steps)", self.steps)
+    }
+    fn make_rank(&self, rank: u32) -> Box<dyn RankProgram> {
+        let (px, py, pz) = near_cube_grid(self.nprocs);
+        let n_local = 96usize;
+        let mut rng = SplitMix::new(0x4D ^ rank as u64);
+        let atoms = self.atoms_per_proc as f64;
+        Box::new(MoldyRank {
+            rank,
+            px,
+            py,
+            pz,
+            steps: self.steps,
+            rebuild_every: self.rebuild_every,
+            // ~400 flops per atom pair over ~500 pairs within the cutoff.
+            force_flops: 400.0 * 500.0 * atoms,
+            integrate_flops: 50.0 * atoms,
+            mem_bytes: 1600.0 * atoms,
+            // Boundary shell ≈ atoms^(2/3) positions of 24 bytes.
+            halo_bytes: (24.0 * atoms.powf(2.0 / 3.0) * 4.0) as usize,
+            pos: (0..n_local).map(|_| rng.next_f64()).collect(),
+            vel: (0..n_local).map(|_| rng.next_f64() - 0.5).collect(),
+            energy: 0.0,
+            step_no: 0,
+        })
+    }
+}
+
+struct MoldyRank {
+    rank: u32,
+    px: u32,
+    py: u32,
+    pz: u32,
+    steps: u64,
+    rebuild_every: u64,
+    force_flops: f64,
+    integrate_flops: f64,
+    mem_bytes: f64,
+    halo_bytes: usize,
+    pos: Vec<f64>,
+    vel: Vec<f64>,
+    energy: f64,
+    step_no: u64,
+}
+
+impl MoldyRank {
+    fn coords(&self) -> (u32, u32, u32) {
+        let xy = self.px * self.py;
+        (self.rank % self.px, (self.rank / self.px) % self.py, self.rank / xy)
+    }
+
+    /// Periodic 3-D neighbour in direction `(dx, dy, dz)`.
+    fn neighbour(&self, dx: i64, dy: i64, dz: i64) -> u32 {
+        let (x, y, z) = self.coords();
+        let nx = (x as i64 + dx).rem_euclid(self.px as i64) as u32;
+        let ny = (y as i64 + dy).rem_euclid(self.py as i64) as u32;
+        let nz = (z as i64 + dz).rem_euclid(self.pz as i64) as u32;
+        nz * self.px * self.py + ny * self.px + nx
+    }
+
+    /// Exchange boundary atoms along each axis (send both ways, receive
+    /// both ways — the standard MD ghost exchange).
+    fn ghost_exchange(&mut self, ctx: &mut dyn Mpi, tag: u32) {
+        let dirs = [
+            (1i64, 0i64, 0i64),
+            (-1, 0, 0),
+            (0, 1, 0),
+            (0, -1, 0),
+            (0, 0, 1),
+            (0, 0, -1),
+        ];
+        for (i, &(dx, dy, dz)) in dirs.iter().enumerate() {
+            let p = self.neighbour(dx, dy, dz);
+            if p == self.rank {
+                continue; // degenerate axis of the grid
+            }
+            ctx.send(p, tag + i as u32, &vec![1u8; self.halo_bytes]);
+        }
+        for (i, _) in dirs.iter().enumerate() {
+            let (dx, dy, dz) = dirs[i];
+            let p = self.neighbour(dx, dy, dz);
+            if p == self.rank {
+                continue;
+            }
+            // The neighbour sent toward us with the opposite direction.
+            let mirror = [1u32, 0, 3, 2, 5, 4][i];
+            ctx.recv(Some(p), Some(tag + mirror));
+        }
+    }
+
+    fn integrate(&mut self) {
+        let mut e = 0.0;
+        for (p, v) in self.pos.iter_mut().zip(self.vel.iter_mut()) {
+            let f = -0.1 * *p;
+            *v += 0.01 * f;
+            *p += 0.01 * *v;
+            e += 0.5 * *v * *v + 0.05 * *p * *p;
+        }
+        self.energy = e;
+    }
+}
+
+impl RankProgram for MoldyRank {
+    fn prologue(&mut self, ctx: &mut dyn Mpi) {
+        // Read input, build initial cells (cheap relative to the MD loop:
+        // a non-relevant phase, like the paper's initialization phases).
+        ctx.compute(Work::new(self.force_flops * 0.1, self.mem_bytes * 0.2));
+        ctx.allgather(Bytes::from(vec![0u8; 64]));
+        ctx.barrier();
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn step(&mut self, s: u64, ctx: &mut dyn Mpi) {
+        // Ghost exchange + short-range forces.
+        self.ghost_exchange(ctx, 10);
+        ctx.compute(Work::new(self.force_flops, self.mem_bytes));
+        // Integration + energy reduction.
+        self.integrate();
+        ctx.compute(Work::flops(self.integrate_flops));
+        ctx.allreduce_f64(&[self.energy], pas2p_mpisim::ReduceOp::Sum);
+        // Periodic neighbour-list rebuild: a different, rarer phase.
+        if (s + 1).is_multiple_of(self.rebuild_every) {
+            ctx.allgather(Bytes::from(vec![2u8; 256]));
+            ctx.compute(Work::new(self.force_flops * 0.4, self.mem_bytes * 0.5));
+        }
+        // Sparse trajectory sampling: a cheap, rare phase family that
+        // stays below the 1 % relevance cut-off (Moldy's dump/rdf
+        // bookkeeping) — the paper's Table 3 finds 13 phases of which
+        // only 4 matter.
+        if (s + 1).is_multiple_of(self.rebuild_every * 3) {
+            ctx.gather(0, Bytes::from(vec![4u8; 64]));
+        }
+        self.step_no += 1;
+    }
+
+    fn epilogue(&mut self, ctx: &mut dyn Mpi) {
+        // Final trajectory dump to rank 0.
+        ctx.gather(0, Bytes::from(vec![3u8; 128]));
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.u64(self.step_no)
+            .f64(self.energy)
+            .f64s(&self.pos)
+            .f64s(&self.vel);
+        w.finish()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) {
+        let mut r = StateReader::new(bytes);
+        self.step_no = r.u64();
+        self.energy = r.f64();
+        self.pos = r.f64s();
+        self.vel = r.f64s();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas2p_machine::{cluster_a, JitterModel, MappingPolicy};
+    use pas2p_signature::run_plain;
+
+    #[test]
+    fn moldy_runs_with_rebuild_phases() {
+        let mut m = cluster_a();
+        m.jitter = JitterModel::none();
+        let app = MoldyApp { nprocs: 8, steps: 12, rebuild_every: 4, atoms_per_proc: 64 };
+        let r = run_plain(&app, &m, MappingPolicy::Block);
+        assert!(!r.aborted);
+        // 8 ranks × (prologue allgather+barrier + 12 allreduce + 3 rebuild
+        // allgathers + 1 trajectory sample + epilogue gather)
+        assert_eq!(r.total_colls, 8 * (2 + 12 + 3 + 1 + 1));
+    }
+
+    #[test]
+    fn moldy_energy_evolves() {
+        let app = MoldyApp::tip4p(8);
+        let mut p = app.make_rank(0);
+        let s0 = p.snapshot();
+        // Integrate locally (no ctx needed for the pure part).
+        // Drive via the simulator for the full path:
+        let mut m = cluster_a();
+        m.jitter = JitterModel::none();
+        let small = MoldyApp { nprocs: 2, steps: 3, rebuild_every: 2, atoms_per_proc: 32 };
+        let r = run_plain(&small, &m, MappingPolicy::Block);
+        assert!(!r.aborted);
+        p.restore(&s0);
+        assert_eq!(p.snapshot(), s0);
+    }
+
+    #[test]
+    fn moldy_degenerate_grids_skip_self_sends() {
+        let mut m = cluster_a();
+        m.jitter = JitterModel::none();
+        // 2 processes → grid (1,1,2): x and y axes degenerate.
+        let app = MoldyApp { nprocs: 2, steps: 2, rebuild_every: 2, atoms_per_proc: 32 };
+        let r = run_plain(&app, &m, MappingPolicy::Block);
+        assert!(!r.aborted);
+    }
+}

@@ -1,0 +1,57 @@
+//! NAS Parallel Benchmark kernels (communication-faithful Rust ports,
+//! scaled): CG, BT, SP, LU and FT — the applications of the paper's
+//! Tables 4–9.
+
+pub mod bt;
+pub mod cg;
+pub mod ft;
+pub mod lu;
+pub mod sp;
+
+/// NPB problem classes used by the paper (Table 4: Class C; Table 6:
+/// Class D). Class sizes are scaled versions of the NPB definitions: the
+/// declared virtual work keeps the class ratios, while iteration counts
+/// are reduced so the suite runs in CI time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Small (development/test).
+    A,
+    /// Medium.
+    B,
+    /// The paper's 64-process workload.
+    C,
+    /// The paper's 256-process workload.
+    D,
+}
+
+impl Class {
+    /// Multiplier applied to per-iteration work relative to class A.
+    pub fn work_factor(self) -> f64 {
+        match self {
+            Class::A => 1.0,
+            Class::B => 4.0,
+            Class::C => 16.0,
+            Class::D => 256.0,
+        }
+    }
+
+    /// Multiplier applied to message volumes relative to class A.
+    pub fn size_factor(self) -> f64 {
+        match self {
+            Class::A => 1.0,
+            Class::B => 2.0,
+            Class::C => 4.0,
+            Class::D => 16.0,
+        }
+    }
+
+    /// Class letter.
+    pub fn letter(self) -> char {
+        match self {
+            Class::A => 'A',
+            Class::B => 'B',
+            Class::C => 'C',
+            Class::D => 'D',
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Criterion microbenches of the analysis algorithms: these back the
+//! paper's Table 8 TFAT column with measured scaling of the ordering and
+//! extraction stages, plus the runtime and trace codec hot paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pas2p_machine::{cluster_a, JitterModel, MappingPolicy, Work};
+use pas2p_model::{lamport_order, pas2p_order};
+use pas2p_mpisim::{run_app, Mpi, ReduceOp, SimConfig};
+use pas2p_phases::{extract_phases, SimilarityConfig};
+use pas2p_trace::{format, InstrumentationModel, Trace, TraceCollector, Traced};
+use std::sync::Arc;
+
+/// Produce a ring trace with `iters` iterations on `n` ranks.
+fn ring_trace(n: u32, iters: usize) -> Trace {
+    let mut machine = cluster_a();
+    machine.jitter = JitterModel::none();
+    let collector = Arc::new(TraceCollector::new(n, "bench", InstrumentationModel::free()));
+    let cfg = SimConfig::new(machine, n, MappingPolicy::Block);
+    let col = collector.clone();
+    run_app(&cfg, move |ctx| {
+        let size = ctx.size();
+        let rank = ctx.rank();
+        let mut t = Traced::new(ctx, &col);
+        let next = (rank + 1) % size;
+        let prev = (rank + size - 1) % size;
+        for _ in 0..iters {
+            t.compute(Work::flops(1e6));
+            t.send(next, 1, &[0u8; 256]);
+            t.recv(Some(prev), Some(1));
+            t.allreduce_f64(&[1.0], ReduceOp::Sum);
+        }
+        t.finish();
+    });
+    Arc::into_inner(collector).unwrap().into_trace()
+}
+
+fn bench_ordering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ordering");
+    for &iters in &[50usize, 200] {
+        let trace = ring_trace(8, iters);
+        let events = trace.total_events() as u64;
+        g.throughput(Throughput::Elements(events));
+        g.bench_with_input(BenchmarkId::new("pas2p", events), &trace, |b, t| {
+            b.iter(|| pas2p_order(t))
+        });
+        g.bench_with_input(BenchmarkId::new("lamport", events), &trace, |b, t| {
+            b.iter(|| lamport_order(t))
+        });
+    }
+    g.finish();
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("phase_extraction");
+    for &iters in &[50usize, 200] {
+        let trace = ring_trace(8, iters);
+        let logical = pas2p_order(&trace);
+        let ticks = logical.len() as u64;
+        g.throughput(Throughput::Elements(ticks));
+        g.bench_with_input(BenchmarkId::from_parameter(ticks), &logical, |b, l| {
+            b.iter(|| extract_phases(l, &SimilarityConfig::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_trace_codec(c: &mut Criterion) {
+    let trace = ring_trace(8, 100);
+    let encoded = format::encode(&trace);
+    let mut g = c.benchmark_group("trace_codec");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| format::encode(&trace)));
+    g.bench_function("decode", |b| b.iter(|| format::decode(&encoded).unwrap()));
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut machine = cluster_a();
+    machine.jitter = JitterModel::none();
+    let mut g = c.benchmark_group("mpisim");
+    g.sample_size(10);
+    for &n in &[4u32, 16] {
+        let cfg = SimConfig::new(machine.clone(), n, MappingPolicy::Block);
+        g.bench_with_input(BenchmarkId::new("ring_1k_msgs", n), &cfg, |b, cfg| {
+            b.iter(|| {
+                run_app(cfg, |ctx| {
+                    let size = ctx.size();
+                    let next = (ctx.rank() + 1) % size;
+                    let prev = (ctx.rank() + size - 1) % size;
+                    for _ in 0..1000 / size {
+                        ctx.send(next, 1, &[0u8; 64]);
+                        ctx.recv(Some(prev), Some(1));
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ordering,
+    bench_extraction,
+    bench_trace_codec,
+    bench_simulator
+);
+criterion_main!(benches);

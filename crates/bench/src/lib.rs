@@ -1,0 +1,51 @@
+//! Shared plumbing for the table/figure regeneration benches.
+//!
+//! Every bench prints (a) the configuration it ran (scaled down from the
+//! paper's workloads; see `DESIGN.md` "Scaling note"), (b) the regenerated
+//! table rows, and (c) the paper's reference values for shape comparison.
+//! Set `PAS2P_BENCH_SHRINK=1` to run at the paper's process counts.
+
+use pas2p_machine::MachineModel;
+
+/// Process-count shrink factor: paper sizes are divided by this. Default
+/// 4 keeps the whole suite in CI time; 1 reproduces the paper's scales.
+pub fn shrink() -> u32 {
+    std::env::var("PAS2P_BENCH_SHRINK")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(4)
+}
+
+/// Standard bench banner.
+pub fn banner(title: &str, base: &MachineModel, target: Option<&MachineModel>) {
+    println!("================================================================");
+    println!("{}", title);
+    match target {
+        Some(t) => println!(
+            "base machine: {} | target machine: {} | shrink {}x",
+            base.name,
+            t.name,
+            shrink()
+        ),
+        None => println!("machine: {} | shrink {}x", base.name, shrink()),
+    }
+    println!("================================================================");
+}
+
+/// Print the paper's reference table for side-by-side comparison.
+pub fn paper_reference(lines: &[&str]) {
+    println!("\n--- paper reference (absolute numbers differ; compare shape) ---");
+    for l in lines {
+        println!("  {}", l);
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn shrink_defaults_sane() {
+        assert!(super::shrink() >= 1);
+    }
+}

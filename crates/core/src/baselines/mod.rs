@@ -1,0 +1,25 @@
+//! Comparator baselines from the paper's related work (§2).
+//!
+//! PAS2P's claim is not merely that prediction is possible but that
+//! executing *real application slices* beats the alternatives. Two of
+//! the related-work approaches are implemented here so the benches can
+//! compare them head-to-head:
+//!
+//! * [`replay`] — a Dimemas-like trace-replay simulator (Girona et al.
+//!   \[14\]): replays the full communication trace against the target
+//!   machine model, rescaling compute segments. Needs no target-machine
+//!   execution but also never runs real code — "when we execute it on
+//!   different parallel computers, real memory access patterns and the
+//!   real computational resource requirements are used" is exactly what
+//!   it lacks.
+//! * [`partial`] — partial execution (Yang et al. \[17\]): run the first
+//!   few timesteps on the target and extrapolate linearly. Cheap, but
+//!   "our signature intends to analyze the entire execution to provide
+//!   better prediction quality" — rare phases (neighbour-list rebuilds,
+//!   I/O bursts) outside the observed prefix are invisible to it.
+
+pub mod partial;
+pub mod replay;
+
+pub use partial::{predict_by_partial_execution, PartialPrediction};
+pub use replay::{predict_by_replay, ReplayPrediction};

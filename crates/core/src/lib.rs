@@ -1,0 +1,56 @@
+//! PAS2P — Parallel Application Signatures for Performance Prediction.
+//!
+//! A Rust reproduction of the PAS2P methodology (Wong, Rexachs, Luque):
+//! characterize a message-passing application by tracing its
+//! communication, build a machine-independent logical model, extract the
+//! repetitive *phases* and their *weights*, checkpoint the application at
+//! the relevant phases into a *signature*, and predict the application's
+//! execution time on other machines by executing just the signature:
+//!
+//! ```text
+//! PET = Σᵢ PhaseETᵢ · Wᵢ
+//! ```
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pas2p::{Pas2p, prelude::*};
+//! use pas2p_apps::MoldyApp;
+//!
+//! // The application under study and the machines involved.
+//! let app = MoldyApp { nprocs: 8, steps: 30, rebuild_every: 10, atoms_per_proc: 256 };
+//! let base = cluster_a();
+//! let target = cluster_b();
+//!
+//! let pas2p = Pas2p::default();
+//! // Stage A: analyze on the base machine and build the signature.
+//! let analysis = pas2p.analyze(&app, &base, MappingPolicy::Block);
+//! let (signature, _stats) = pas2p.build_signature(&app, &analysis, &base, MappingPolicy::Block);
+//! // Stage B: execute the signature on the target machine.
+//! let report = pas2p.validate(&app, &signature, &target, MappingPolicy::Block).unwrap();
+//! assert!(report.pete_percent < 15.0, "PETE {}%", report.pete_percent);
+//! ```
+
+pub mod baselines;
+pub mod experiment;
+pub mod pipeline;
+pub mod workload;
+
+pub use pipeline::{Analysis, Pas2p};
+
+/// Convenient re-exports of the whole PAS2P stack.
+pub mod prelude {
+    pub use pas2p_machine::{
+        cluster_a, cluster_b, cluster_c, cluster_d, preset_by_name, IsaKind, MachineModel,
+        Mapping, MappingPolicy, Work,
+    };
+    pub use pas2p_model::{lamport_order, pas2p_order, LogicalTrace};
+    pub use pas2p_mpisim::{run_app, Group, Mpi, RankCtx, ReduceOp, SimConfig};
+    pub use pas2p_phases::{extract_phases, PhaseAnalysis, PhaseTable, SimilarityConfig};
+    pub use pas2p_signature::{
+        construct_signature, execute_signature, predict, rebuild_signature, run_plain,
+        run_traced, MpiApp, Prediction, RankProgram, Signature, SignatureConfig,
+        ValidationReport,
+    };
+    pub use pas2p_trace::{InstrumentationModel, Trace, TraceCollector, Traced};
+}

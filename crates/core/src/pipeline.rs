@@ -1,0 +1,152 @@
+//! The end-to-end PAS2P pipeline (Fig 1 / Fig 2 of the paper).
+
+use pas2p_machine::{MachineModel, MappingPolicy};
+use pas2p_model::pas2p_order;
+use pas2p_phases::{extract_phases, PhaseAnalysis, PhaseTable, SimilarityConfig};
+use pas2p_signature::{
+    construct_signature, execute_signature, predict, run_traced, ConstructionStats, ExecError,
+    MpiApp, Prediction, Signature, SignatureConfig, ValidationReport,
+};
+use pas2p_trace::InstrumentationModel;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Stage-A output: everything the analysis of one application run on the
+/// base machine produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Analysis {
+    /// Application name.
+    pub app_name: String,
+    /// Workload description.
+    pub workload: String,
+    /// Number of processes.
+    pub nprocs: u32,
+    /// Base machine name.
+    pub base_machine: String,
+    /// Tracefile size in bytes (the paper's TFSize, Table 8).
+    pub trace_bytes: u64,
+    /// Total recorded communication events.
+    pub trace_events: usize,
+    /// Host seconds spent building the model and extracting phases (the
+    /// paper's TFAT, Table 8).
+    pub tfat_seconds: f64,
+    /// Application execution time under instrumentation (AET_PAS2P,
+    /// Table 9), virtual seconds on the base machine.
+    pub aet_instrumented: f64,
+    /// The full phase analysis.
+    pub analysis: PhaseAnalysis,
+    /// The phase table feeding signature construction.
+    pub table: PhaseTable,
+}
+
+impl Analysis {
+    /// Total unique phases (Table 8 "Total Phases").
+    pub fn total_phases(&self) -> usize {
+        self.analysis.total_phases()
+    }
+
+    /// Relevant phases (Table 8 "Relevant Phases").
+    pub fn relevant_phases(&self) -> usize {
+        self.table.relevant_phases()
+    }
+}
+
+/// The PAS2P tool: configuration plus the pipeline entry points.
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct Pas2p {
+    /// Phase-similarity thresholds (§3.3 step 5).
+    pub similarity: SimilarityConfig,
+    /// Interposition overhead model (§3.1).
+    pub instrumentation: InstrumentationModel,
+    /// Checkpoint/restart and relevance parameters (§3.4).
+    pub signature: SignatureConfig,
+}
+
+
+impl Pas2p {
+    /// Stage A (Fig 1 "Application analysis"): instrument and run the
+    /// application on the base machine, build the machine-independent
+    /// model, extract phases and produce the phase table.
+    pub fn analyze(
+        &self,
+        app: &dyn MpiApp,
+        base: &MachineModel,
+        policy: MappingPolicy,
+    ) -> Analysis {
+        let (trace, report) = run_traced(app, base, policy, self.instrumentation);
+        let tfat_start = Instant::now();
+        let logical = pas2p_order(&trace);
+        let analysis = extract_phases(&logical, &self.similarity);
+        let tfat_seconds = tfat_start.elapsed().as_secs_f64();
+        let table = PhaseTable::from_analysis(
+            &analysis,
+            self.signature.relevance_threshold,
+            self.signature.warmup_occurrences,
+            self.signature.measure_occurrences,
+        );
+        Analysis {
+            app_name: app.name(),
+            workload: app.workload(),
+            nprocs: app.nprocs(),
+            base_machine: base.name.clone(),
+            trace_bytes: trace.size_bytes(),
+            trace_events: trace.total_events(),
+            tfat_seconds,
+            aet_instrumented: report.makespan,
+            analysis,
+            table,
+        }
+    }
+
+    /// Build the signature from an analysis by re-running the application
+    /// on the base machine and checkpointing the relevant phases (§3.4).
+    pub fn build_signature(
+        &self,
+        app: &dyn MpiApp,
+        analysis: &Analysis,
+        base: &MachineModel,
+        policy: MappingPolicy,
+    ) -> (Signature, ConstructionStats) {
+        construct_signature(app, &analysis.table, base, policy, self.signature)
+    }
+
+    /// Stage B (Fig 1 "Performance prediction"): execute the signature on
+    /// a target machine and apply Equation 1.
+    pub fn predict(
+        &self,
+        app: &dyn MpiApp,
+        signature: &Signature,
+        target: &MachineModel,
+        policy: MappingPolicy,
+    ) -> Result<Prediction, ExecError> {
+        execute_signature(app, signature, target, policy)
+    }
+
+    /// The experimental-validation block (Fig 12): predict, then run the
+    /// whole application on the target to measure PETE.
+    pub fn validate(
+        &self,
+        app: &dyn MpiApp,
+        signature: &Signature,
+        target: &MachineModel,
+        policy: MappingPolicy,
+    ) -> Result<ValidationReport, ExecError> {
+        predict::validate(app, signature, target, policy)
+    }
+
+    /// Convenience: the whole methodology in one call — analyze on
+    /// `base`, build the signature, validate against `target`.
+    pub fn analyze_and_validate(
+        &self,
+        app: &dyn MpiApp,
+        base: &MachineModel,
+        target: &MachineModel,
+        policy: MappingPolicy,
+    ) -> Result<(Analysis, ValidationReport), ExecError> {
+        let analysis = self.analyze(app, base, policy.clone());
+        let (signature, _) = self.build_signature(app, &analysis, base, policy.clone());
+        let report = self.validate(app, &signature, target, policy)?;
+        Ok((analysis, report))
+    }
+}

@@ -1,0 +1,254 @@
+//! The workload effect (paper reference \[2\]: Canillas, Wong, Rexachs,
+//! Luque — "Predicting parallel applications performance using
+//! signatures: the workload effect").
+//!
+//! A signature predicts only for the data set it was analyzed with
+//! (paper §7). The companion work observes that, for iteration-dimension
+//! workload changes, the *phases* stay the same and only their *weights*
+//! move: fitting weight-vs-workload functions from a few analyses lets
+//! one signature predict unseen workload sizes without re-analysis.
+//!
+//! This module implements that extension for workloads parameterized by a
+//! scalar (iteration/timestep count): per-phase linear least-squares fits
+//! `weight(w) = a·w + b`, combined with the PhaseETs a signature measures
+//! on the target machine (per-occurrence phase times are workload-
+//! invariant when the per-iteration work is fixed — the scope of the
+//! method; problem-*size* scaling changes PhaseETs and is out of scope).
+
+use pas2p_phases::PhaseTable;
+use pas2p_signature::Prediction;
+use serde::{Deserialize, Serialize};
+
+/// One phase family's fitted weight function.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseWeightFit {
+    /// Phase id in the reference (largest-workload) table.
+    pub phase_id: u32,
+    /// Slope: extra repetitions per unit of workload.
+    pub a: f64,
+    /// Intercept: workload-independent repetitions (prologue/epilogue).
+    pub b: f64,
+}
+
+impl PhaseWeightFit {
+    /// Predicted weight at workload `w` (clamped non-negative).
+    pub fn weight_at(&self, w: f64) -> f64 {
+        (self.a * w + self.b).max(0.0)
+    }
+}
+
+/// Errors from model fitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadFitError {
+    /// Fewer than two observations.
+    NotEnoughObservations,
+    /// The observations disagree on the number of relevant phases — the
+    /// workload change altered the phase structure, so the linear-weight
+    /// assumption does not hold and a re-analysis is needed.
+    PhaseStructureMismatch {
+        /// Relevant-phase counts seen across observations.
+        counts: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for WorkloadFitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadFitError::NotEnoughObservations => {
+                write!(f, "need at least two (workload, phase table) observations")
+            }
+            WorkloadFitError::PhaseStructureMismatch { counts } => write!(
+                f,
+                "relevant-phase structure changed across workloads ({:?}); re-analyze",
+                counts
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadFitError {}
+
+/// A fitted workload model for one application on one base machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadModel {
+    /// Per-phase weight fits, in the reference table's row order.
+    pub fits: Vec<PhaseWeightFit>,
+    /// Workload parameters the model was fitted on.
+    pub fitted_at: Vec<f64>,
+}
+
+impl WorkloadModel {
+    /// Fit per-phase linear weight functions from two or more analyses of
+    /// the same application at different scalar workloads. Phases are
+    /// matched by row order (analyses of the same application discover
+    /// phases in the same order).
+    pub fn fit(observations: &[(f64, &PhaseTable)]) -> Result<WorkloadModel, WorkloadFitError> {
+        if observations.len() < 2 {
+            return Err(WorkloadFitError::NotEnoughObservations);
+        }
+        let counts: Vec<usize> = observations
+            .iter()
+            .map(|(_, t)| t.relevant_phases())
+            .collect();
+        if counts.windows(2).any(|w| w[0] != w[1]) {
+            return Err(WorkloadFitError::PhaseStructureMismatch { counts });
+        }
+        let nphases = counts[0];
+        let reference = observations
+            .iter()
+            .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+            .unwrap()
+            .1;
+
+        let mut fits = Vec::with_capacity(nphases);
+        for row in 0..nphases {
+            // Least squares over (w, weight) pairs.
+            let pts: Vec<(f64, f64)> = observations
+                .iter()
+                .map(|(w, t)| (*w, t.rows[row].weight as f64))
+                .collect();
+            let n = pts.len() as f64;
+            let sw: f64 = pts.iter().map(|p| p.0).sum();
+            let sy: f64 = pts.iter().map(|p| p.1).sum();
+            let sww: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+            let swy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+            let denom = n * sww - sw * sw;
+            let (a, b) = if denom.abs() < 1e-12 {
+                (0.0, sy / n)
+            } else {
+                let a = (n * swy - sw * sy) / denom;
+                let b = (sy - a * sw) / n;
+                (a, b)
+            };
+            fits.push(PhaseWeightFit {
+                phase_id: reference.rows[row].phase_id,
+                a,
+                b,
+            });
+        }
+        Ok(WorkloadModel {
+            fits,
+            fitted_at: observations.iter().map(|(w, _)| *w).collect(),
+        })
+    }
+
+    /// Predict the execution time at workload `w` from a signature
+    /// execution (`prediction`) obtained at any of the fitted workloads:
+    /// the measured PhaseETs are reused, the weights are re-derived.
+    ///
+    /// Phase measurements are matched to fits by row order.
+    pub fn predict_at(&self, prediction: &Prediction, w: f64) -> f64 {
+        self.fits
+            .iter()
+            .zip(&prediction.measurements)
+            .map(|(fit, m)| fit.weight_at(w) * m.phase_et)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas2p_phases::{MeasureWindow, PhaseRow};
+    use pas2p_signature::PhaseMeasurement;
+
+    fn table(weights: &[u64]) -> PhaseTable {
+        PhaseTable {
+            nprocs: 2,
+            aet_base: 1.0,
+            total_phases: weights.len(),
+            relevance_threshold: 0.01,
+            rows: weights
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| PhaseRow {
+                    phase_id: i as u32,
+                    weight: w,
+                    phase_et_base: 0.01,
+                    ckpt_counts: vec![0, 0],
+                    windows: vec![MeasureWindow {
+                        start_counts: vec![0, 0],
+                        end_counts: vec![1, 1],
+                    }],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn fit_recovers_linear_weights() {
+        let t1 = table(&[10, 1]);
+        let t2 = table(&[20, 1]);
+        let model = WorkloadModel::fit(&[(10.0, &t1), (20.0, &t2)]).unwrap();
+        // Phase 0: weight = w; phase 1: constant 1.
+        assert!((model.fits[0].weight_at(40.0) - 40.0).abs() < 1e-9);
+        assert!((model.fits[1].weight_at(40.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_requires_two_observations() {
+        let t = table(&[10]);
+        assert_eq!(
+            WorkloadModel::fit(&[(10.0, &t)]).unwrap_err(),
+            WorkloadFitError::NotEnoughObservations
+        );
+    }
+
+    #[test]
+    fn structure_mismatch_is_detected() {
+        let t1 = table(&[10, 1]);
+        let t2 = table(&[20]);
+        let err = WorkloadModel::fit(&[(10.0, &t1), (20.0, &t2)]).unwrap_err();
+        assert!(matches!(err, WorkloadFitError::PhaseStructureMismatch { .. }));
+        assert!(err.to_string().contains("re-analyze"));
+    }
+
+    #[test]
+    fn predict_at_combines_fits_with_measured_ets() {
+        let t1 = table(&[10, 5]);
+        let t2 = table(&[20, 5]);
+        let model = WorkloadModel::fit(&[(10.0, &t1), (20.0, &t2)]).unwrap();
+        let prediction = Prediction::from_measurements(
+            "x".into(),
+            "a".into(),
+            "b".into(),
+            2,
+            vec![
+                PhaseMeasurement {
+                    phase_id: 0,
+                    weight: 20,
+                    phase_et: 0.5,
+                    measured_span: 0.5,
+                    restart_cost: 0.0,
+                },
+                PhaseMeasurement {
+                    phase_id: 1,
+                    weight: 5,
+                    phase_et: 2.0,
+                    measured_span: 2.0,
+                    restart_cost: 0.0,
+                },
+            ],
+            0.0,
+        );
+        // At w=40: phase0 weight 40 × 0.5 + phase1 weight 5 × 2.0 = 30.
+        assert!((model.predict_at(&prediction, 40.0) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_clamp_at_zero() {
+        let fit = PhaseWeightFit { phase_id: 0, a: 1.0, b: -100.0 };
+        assert_eq!(fit.weight_at(10.0), 0.0);
+    }
+
+    #[test]
+    fn three_point_fit_averages_noise() {
+        let t1 = table(&[11, 1]);
+        let t2 = table(&[19, 1]);
+        let t3 = table(&[31, 1]);
+        let model =
+            WorkloadModel::fit(&[(10.0, &t1), (20.0, &t2), (30.0, &t3)]).unwrap();
+        let w40 = model.fits[0].weight_at(40.0);
+        assert!((w40 - 40.33).abs() < 1.0, "w40 = {}", w40);
+    }
+}

@@ -1,0 +1,327 @@
+//! The per-rank execution context.
+
+use crate::coll::{keyed_unit_noise, CollInput, CollOp, CollOutput, CollSlot, CollWait, ReduceOp};
+use crate::group::Group;
+use crate::harness::{Counters, HarnessAction};
+use crate::msg::{Envelope, Message, PendingQueue, Tag};
+use crate::runtime::{Shared, SimAbort};
+use crate::Mpi;
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use pas2p_machine::jitter::JitterStream;
+use pas2p_machine::Work;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a blocked operation sleeps between abort-flag polls.
+const POLL: Duration = Duration::from_millis(2);
+
+/// The execution context handed to each rank's closure: implements [`Mpi`]
+/// directly against the simulated machine.
+pub struct RankCtx {
+    rank: u32,
+    size: u32,
+    clock: f64,
+    pending: PendingQueue,
+    rx: Receiver<Envelope>,
+    senders: Arc<Vec<Sender<Envelope>>>,
+    shared: Arc<Shared>,
+    jitter: JitterStream,
+    counters: Counters,
+    core_share: u32,
+}
+
+impl RankCtx {
+    pub(crate) fn new(
+        rank: u32,
+        size: u32,
+        rx: Receiver<Envelope>,
+        senders: Arc<Vec<Sender<Envelope>>>,
+        shared: Arc<Shared>,
+    ) -> RankCtx {
+        let jitter = shared.machine.jitter.stream(rank);
+        let core_share = shared.mapping.core_share(rank);
+        RankCtx {
+            rank,
+            size,
+            clock: 0.0,
+            pending: PendingQueue::default(),
+            rx,
+            senders,
+            shared,
+            jitter,
+            counters: Counters::default(),
+            core_share,
+        }
+    }
+
+    /// Final virtual clock (used by the runtime after the closure returns).
+    pub(crate) fn final_clock(&self) -> f64 {
+        self.clock
+    }
+
+    fn check_abort(&self) {
+        if self.shared.abort.load(Ordering::Relaxed) {
+            std::panic::panic_any(SimAbort);
+        }
+    }
+
+    fn after_comm_event(&mut self) {
+        self.check_abort();
+        if let Some(h) = &self.shared.harness {
+            if h.on_comm_event(self.rank, &self.counters, self.clock) == HarnessAction::AbortAll {
+                self.shared.abort.store(true, Ordering::Relaxed);
+                std::panic::panic_any(SimAbort);
+            }
+        }
+    }
+
+    fn drain_arrivals(&mut self) {
+        while let Ok(env) = self.rx.try_recv() {
+            self.pending.push(env);
+        }
+    }
+
+    fn coll_slot(&self, group: &Group) -> Arc<CollSlot> {
+        let mut slots = self.shared.slots.lock();
+        slots
+            .entry(group.clone())
+            .or_insert_with(|| Arc::new(CollSlot::new(group.len())))
+            .clone()
+    }
+
+    /// Perform one collective round; returns this rank's output.
+    fn collective(&mut self, group: &Group, op: CollOp, input: CollInput) -> CollOutput {
+        self.check_abort();
+        let pos = group
+            .position(self.rank)
+            .unwrap_or_else(|| panic!("rank {} is not in group {:?}", self.rank, group.ranks()));
+        let slot = self.coll_slot(group);
+        let shared = self.shared.clone();
+        let group_hash = {
+            let mut h = DefaultHasher::new();
+            group.ranks().hash(&mut h);
+            h.finish()
+        };
+        let machine = &shared.machine;
+        let mapping = &shared.mapping;
+        let sigma = machine.jitter.comm_sigma;
+        let seed = machine.jitter.seed;
+        let cost_of = |generation: u64, max_bytes: u64| -> f64 {
+            let base = machine.collective_cost(mapping, op.kind(), group.ranks(), max_bytes);
+            let factor = (1.0 + sigma * keyed_unit_noise(seed, group_hash, generation)).max(0.05);
+            base * factor
+        };
+        match slot.arrive(group, pos, op, input, self.clock, cost_of, &shared.abort) {
+            CollWait::Done(res) => {
+                self.clock = res.out_clock;
+                self.counters.colls += 1;
+                self.shared.total_colls.fetch_add(1, Ordering::Relaxed);
+                self.after_comm_event();
+                res.output
+            }
+            CollWait::Aborted => std::panic::panic_any(SimAbort),
+        }
+    }
+}
+
+impl Mpi for RankCtx {
+    fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    fn size(&self) -> u32 {
+        self.size
+    }
+
+    fn now(&self) -> f64 {
+        self.clock
+    }
+
+    fn compute(&mut self, work: Work) {
+        self.check_abort();
+        if work.is_zero() {
+            return;
+        }
+        let t = self.shared.machine.compute_time(work, self.core_share);
+        self.clock += t * self.jitter.compute_factor();
+    }
+
+    fn elapse(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0);
+        self.clock += seconds;
+    }
+
+    fn send(&mut self, dest: u32, tag: Tag, data: &[u8]) -> u64 {
+        assert!(dest < self.size, "send to rank {} of {}", dest, self.size);
+        self.check_abort();
+        let machine = &self.shared.machine;
+        let mapping = &self.shared.mapping;
+        let base = machine.p2p_cost(mapping, self.rank, dest, data.len() as u64);
+        let wire_cost = base * self.jitter.comm_factor();
+        let msg_id = self.shared.msg_ids.fetch_add(1, Ordering::Relaxed);
+        // Sender-side CPU overhead: injecting the message costs roughly the
+        // per-message overhead of the link used.
+        let overhead = if mapping.loc(self.rank).node == mapping.loc(dest).node {
+            machine.intra.per_msg_overhead
+        } else {
+            machine.network.per_msg_overhead
+        };
+        self.clock += overhead;
+        let env = Envelope {
+            src: self.rank,
+            dest,
+            tag,
+            data: Bytes::copy_from_slice(data),
+            depart: self.clock,
+            msg_id,
+            wire_cost,
+        };
+        self.shared.total_msgs.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .total_bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        // Unbounded channels: an eager send never blocks. A hung-up
+        // receiver during a harness abort just means the peer unwound
+        // first; propagate the abort instead of failing.
+        if self.senders[dest as usize].send(env).is_err() {
+            if self.shared.abort.load(Ordering::Relaxed) {
+                std::panic::panic_any(SimAbort);
+            }
+            panic!(
+                "rank {} exited while rank {} still had messages for it",
+                dest, self.rank
+            );
+        }
+        self.counters.sends += 1;
+        self.after_comm_event();
+        msg_id
+    }
+
+    fn recv(&mut self, src: Option<u32>, tag: Option<Tag>) -> Message {
+        if let Some(s) = src {
+            assert!(s < self.size, "recv from rank {} of {}", s, self.size);
+        }
+        self.check_abort();
+        let env = loop {
+            self.drain_arrivals();
+            if let Some(env) = self.pending.take_match(src, tag) {
+                break env;
+            }
+            match self.rx.recv_timeout(POLL) {
+                Ok(env) => self.pending.push(env),
+                Err(RecvTimeoutError::Timeout) => self.check_abort(),
+                Err(RecvTimeoutError::Disconnected) => {
+                    if self.shared.abort.load(Ordering::Relaxed) {
+                        std::panic::panic_any(SimAbort);
+                    }
+                    panic!(
+                        "rank {} blocked in recv(src={:?}, tag={:?}) with all senders gone",
+                        self.rank, src, tag
+                    )
+                }
+            }
+        };
+        // Virtual completion: the message physically arrives at
+        // depart + wire time; the receive completes no earlier than the
+        // receiver posted it.
+        let arrive = (env.depart + env.wire_cost).max(self.clock);
+        debug_assert_eq!(env.dest, self.rank, "misrouted message");
+        self.clock = arrive;
+        self.counters.recvs += 1;
+        let msg = Message {
+            src: env.src,
+            dest: env.dest,
+            tag: env.tag,
+            data: env.data,
+            depart: env.depart,
+            arrive,
+            msg_id: env.msg_id,
+        };
+        self.after_comm_event();
+        msg
+    }
+
+    fn barrier_in(&mut self, group: &Group) {
+        self.collective(group, CollOp::Barrier, CollInput::None);
+    }
+
+    fn bcast_in(&mut self, group: &Group, root: u32, data: Option<Bytes>) -> Bytes {
+        let input = if self.rank == root {
+            CollInput::Bytes(data.expect("bcast root must supply the payload"))
+        } else {
+            CollInput::None
+        };
+        match self.collective(group, CollOp::Bcast { root }, input) {
+            CollOutput::Bytes(b) => b,
+            other => panic!("bcast returned {:?}", other),
+        }
+    }
+
+    fn reduce_f64_in(
+        &mut self,
+        group: &Group,
+        root: u32,
+        xs: &[f64],
+        op: ReduceOp,
+    ) -> Option<Vec<f64>> {
+        let out = self.collective(
+            group,
+            CollOp::Reduce { root, op },
+            CollInput::F64(xs.to_vec()),
+        );
+        match out {
+            CollOutput::F64(v) => Some(v),
+            CollOutput::None => None,
+            other => panic!("reduce returned {:?}", other),
+        }
+    }
+
+    fn allreduce_f64_in(&mut self, group: &Group, xs: &[f64], op: ReduceOp) -> Vec<f64> {
+        match self.collective(group, CollOp::Allreduce { op }, CollInput::F64(xs.to_vec())) {
+            CollOutput::F64(v) => v,
+            other => panic!("allreduce returned {:?}", other),
+        }
+    }
+
+    fn allgather_in(&mut self, group: &Group, data: Bytes) -> Vec<Bytes> {
+        match self.collective(group, CollOp::Allgather, CollInput::Bytes(data)) {
+            CollOutput::Blocks(bs) => bs,
+            other => panic!("allgather returned {:?}", other),
+        }
+    }
+
+    fn alltoall_in(&mut self, group: &Group, blocks: Vec<Bytes>) -> Vec<Bytes> {
+        match self.collective(group, CollOp::Alltoall, CollInput::Blocks(blocks)) {
+            CollOutput::Blocks(bs) => bs,
+            other => panic!("alltoall returned {:?}", other),
+        }
+    }
+
+    fn gather_in(&mut self, group: &Group, root: u32, data: Bytes) -> Option<Vec<Bytes>> {
+        match self.collective(group, CollOp::Gather { root }, CollInput::Bytes(data)) {
+            CollOutput::Blocks(bs) => Some(bs),
+            CollOutput::None => None,
+            other => panic!("gather returned {:?}", other),
+        }
+    }
+
+    fn scatter_in(&mut self, group: &Group, root: u32, blocks: Option<Vec<Bytes>>) -> Bytes {
+        let input = if self.rank == root {
+            CollInput::Blocks(blocks.expect("scatter root must supply the blocks"))
+        } else {
+            CollInput::None
+        };
+        match self.collective(group, CollOp::Scatter { root }, input) {
+            CollOutput::Bytes(b) => b,
+            other => panic!("scatter returned {:?}", other),
+        }
+    }
+
+    fn counters(&self) -> Counters {
+        self.counters
+    }
+}

@@ -1,0 +1,138 @@
+//! Process groups — the analog of MPI communicators.
+//!
+//! A [`Group`] is a sorted, deduplicated set of world ranks. Collectives
+//! rendezvous per group; the runtime keys rendezvous slots by the group's
+//! member list, so any set of ranks that all call the same collective with
+//! the same group synchronizes together (like a sub-communicator).
+
+use serde::{Deserialize, Serialize};
+
+/// A sorted set of world ranks acting as a communicator.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Group {
+    ranks: Vec<u32>,
+}
+
+impl Group {
+    /// The group of all `size` world ranks.
+    pub fn world(size: u32) -> Group {
+        Group {
+            ranks: (0..size).collect(),
+        }
+    }
+
+    /// Build a group from arbitrary ranks; sorted and deduplicated.
+    pub fn new(mut ranks: Vec<u32>) -> Group {
+        assert!(!ranks.is_empty(), "a group needs at least one member");
+        ranks.sort_unstable();
+        ranks.dedup();
+        Group { ranks }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// True if the group has a single member.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// Members in ascending world-rank order.
+    pub fn ranks(&self) -> &[u32] {
+        &self.ranks
+    }
+
+    /// Position of `world_rank` within the group, if a member.
+    pub fn position(&self, world_rank: u32) -> Option<usize> {
+        self.ranks.binary_search(&world_rank).ok()
+    }
+
+    /// True if `world_rank` belongs to the group.
+    pub fn contains(&self, world_rank: u32) -> bool {
+        self.position(world_rank).is_some()
+    }
+
+    /// Split the world into row groups of a `rows × cols` grid: rank `r`
+    /// is in row `r / cols`. Returns the group containing `rank`.
+    pub fn grid_row(rank: u32, rows: u32, cols: u32) -> Group {
+        assert!(rank < rows * cols);
+        let row = rank / cols;
+        Group::new((0..cols).map(|c| row * cols + c).collect())
+    }
+
+    /// Column group of a `rows × cols` grid containing `rank`.
+    pub fn grid_col(rank: u32, rows: u32, cols: u32) -> Group {
+        assert!(rank < rows * cols);
+        let col = rank % cols;
+        Group::new((0..rows).map(|r| r * cols + col).collect())
+    }
+
+    /// Stable communicator identity: an FNV-1a hash of the member list.
+    /// Every member computes the same id, so traces from different
+    /// processes can be matched by communicator during analysis (the role
+    /// the MPI communicator handle plays in real PMPI traces).
+    pub fn comm_id(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for r in &self.ranks {
+            for b in r.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_contains_all() {
+        let g = Group::world(4);
+        assert_eq!(g.ranks(), &[0, 1, 2, 3]);
+        assert_eq!(g.position(2), Some(2));
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let g = Group::new(vec![3, 1, 3, 2]);
+        assert_eq!(g.ranks(), &[1, 2, 3]);
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn position_of_non_member_is_none() {
+        let g = Group::new(vec![0, 2, 4]);
+        assert_eq!(g.position(1), None);
+        assert!(!g.contains(1));
+        assert!(g.contains(4));
+    }
+
+    #[test]
+    fn grid_rows_and_cols() {
+        // 2x3 grid: ranks 0..6
+        let row = Group::grid_row(4, 2, 3);
+        assert_eq!(row.ranks(), &[3, 4, 5]);
+        let col = Group::grid_col(4, 2, 3);
+        assert_eq!(col.ranks(), &[1, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_group_panics() {
+        Group::new(vec![]);
+    }
+
+    #[test]
+    fn comm_id_is_stable_and_distinguishes_groups() {
+        let a = Group::new(vec![0, 1, 2]);
+        let b = Group::new(vec![2, 1, 0]);
+        let c = Group::new(vec![0, 1, 3]);
+        assert_eq!(a.comm_id(), b.comm_id(), "order-insensitive");
+        assert_ne!(a.comm_id(), c.comm_id());
+        assert_ne!(Group::world(4).comm_id(), Group::world(8).comm_id());
+    }
+}

@@ -1,0 +1,235 @@
+//! A message-passing runtime that substitutes for MPI in the PAS2P
+//! reproduction.
+//!
+//! The paper instruments real MPI applications on real clusters. Rust MPI
+//! bindings are immature and `PMPI`-style interposition is awkward, so this
+//! crate provides the substrate from scratch:
+//!
+//! * **Real concurrency** — every rank is an OS thread; point-to-point
+//!   messages travel over channels and collectives rendezvous through
+//!   shared state, so message matching, `ANY_SOURCE` nondeterminism and
+//!   collective synchronization are genuine, not simulated formulas.
+//! * **Virtual time** — each rank carries a virtual clock advanced by the
+//!   [`pas2p_machine::MachineModel`] cost models: computation is charged
+//!   via declared [`Work`], communication via latency/bandwidth models, and
+//!   both receive deterministic seeded jitter. Executing the same program
+//!   against the cluster-A model and the cluster-C model yields the
+//!   different execution times a real cross-cluster run would.
+//! * **Interposition-friendly API** — applications are written against the
+//!   [`Mpi`] trait. The `pas2p-trace` crate wraps any `Mpi` implementation
+//!   to record the paper's event stream, playing the role of the
+//!   `LD_PRELOAD`-ed `libpas2p`.
+//!
+//! # Example
+//!
+//! ```
+//! use pas2p_mpisim::{Mpi, SimConfig, run_app, ReduceOp};
+//! use pas2p_machine::{cluster_a, Work, MappingPolicy};
+//!
+//! let cfg = SimConfig::new(cluster_a(), 4, MappingPolicy::Block);
+//! let report = run_app(&cfg, |ctx| {
+//!     ctx.compute(Work::flops(1e6));
+//!     let sum = ctx.allreduce_f64(&[ctx.rank() as f64], ReduceOp::Sum);
+//!     assert_eq!(sum[0], 0.0 + 1.0 + 2.0 + 3.0);
+//! });
+//! assert!(report.makespan > 0.0);
+//! ```
+
+pub mod coll;
+pub mod ctx;
+pub mod group;
+pub mod harness;
+pub mod msg;
+pub mod report;
+pub mod runtime;
+
+pub use coll::{CollOp, ReduceOp};
+pub use ctx::RankCtx;
+pub use group::Group;
+pub use harness::{Counters, HarnessAction, SimHarness};
+pub use msg::{Message, RecvRequest, Tag, ANY_TAG};
+pub use report::RunReport;
+pub use runtime::{run_app, SimConfig};
+
+use bytes::Bytes;
+use pas2p_machine::Work;
+
+/// The MPI-like interface applications program against.
+///
+/// Applications are generic over `Mpi`, which is the Rust analog of linking
+/// against the MPI profiling interface: the plain [`RankCtx`] executes
+/// directly, while `pas2p-trace`'s `Traced<C>` wrapper intercepts every
+/// call to record the PAS2P event stream before delegating.
+///
+/// Collectives come in `_in` variants taking an explicit [`Group`] (a
+/// sorted set of world ranks, the analog of an MPI communicator) plus
+/// convenience methods over the world group.
+pub trait Mpi {
+    /// This process's rank in the world group.
+    fn rank(&self) -> u32;
+    /// Number of processes in the world group.
+    fn size(&self) -> u32;
+    /// Current virtual time of this rank, in seconds.
+    fn now(&self) -> f64;
+    /// Advance virtual time by executing `work` on this rank's core.
+    fn compute(&mut self, work: Work);
+    /// Advance virtual time by `seconds` without modeling (used by the
+    /// trace layer to charge instrumentation overhead).
+    fn elapse(&mut self, seconds: f64);
+
+    /// Blocking standard-mode send (eager: never blocks on the receiver).
+    /// Returns the globally unique message id — the paper's *relation*
+    /// field linking this Send event to its Receive event.
+    fn send(&mut self, dest: u32, tag: Tag, data: &[u8]) -> u64;
+    /// Blocking receive. `src = None` is `MPI_ANY_SOURCE`; `tag = None` is
+    /// `MPI_ANY_TAG`.
+    fn recv(&mut self, src: Option<u32>, tag: Option<Tag>) -> Message;
+
+    /// Post a nonblocking receive (`MPI_Irecv`). Completion happens at
+    /// [`wait`](Mpi::wait); in the virtual-time model this is what makes
+    /// communication/computation overlap real — compute performed between
+    /// the post and the wait absorbs wire time.
+    fn irecv(&mut self, src: Option<u32>, tag: Option<Tag>) -> RecvRequest {
+        RecvRequest {
+            src,
+            tag,
+            posted_at: self.now(),
+        }
+    }
+
+    /// Complete a nonblocking receive (`MPI_Wait`).
+    fn wait(&mut self, req: RecvRequest) -> Message {
+        self.recv(req.src, req.tag)
+    }
+
+    /// Complete a set of nonblocking receives (`MPI_Waitall`), in order.
+    fn waitall(&mut self, reqs: Vec<RecvRequest>) -> Vec<Message> {
+        reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+
+    /// Barrier over an arbitrary group.
+    fn barrier_in(&mut self, group: &Group);
+    /// Broadcast `data` from `root` (world rank) to every group member;
+    /// returns the broadcast payload on every rank.
+    fn bcast_in(&mut self, group: &Group, root: u32, data: Option<Bytes>) -> Bytes;
+    /// Element-wise reduction of `xs` to `root`; `Some(result)` on root,
+    /// `None` elsewhere.
+    fn reduce_f64_in(
+        &mut self,
+        group: &Group,
+        root: u32,
+        xs: &[f64],
+        op: ReduceOp,
+    ) -> Option<Vec<f64>>;
+    /// Element-wise reduction delivered to every group member.
+    fn allreduce_f64_in(&mut self, group: &Group, xs: &[f64], op: ReduceOp) -> Vec<f64>;
+    /// Every member contributes a block; every member receives all blocks
+    /// ordered by group position.
+    fn allgather_in(&mut self, group: &Group, data: Bytes) -> Vec<Bytes>;
+    /// Personalized all-to-all: `blocks[i]` goes to group member `i`;
+    /// returns the blocks addressed to this rank, ordered by group position.
+    fn alltoall_in(&mut self, group: &Group, blocks: Vec<Bytes>) -> Vec<Bytes>;
+    /// Gather every member's block to `root`.
+    fn gather_in(&mut self, group: &Group, root: u32, data: Bytes) -> Option<Vec<Bytes>>;
+    /// Scatter `root`'s blocks to members; returns this rank's block.
+    fn scatter_in(&mut self, group: &Group, root: u32, blocks: Option<Vec<Bytes>>) -> Bytes;
+
+    /// Communication-event counters for this rank (used by the signature
+    /// machinery to locate phase start/endpoints).
+    fn counters(&self) -> Counters;
+
+    // ---- Convenience wrappers over the world group ----
+
+    /// Barrier over the world group.
+    fn barrier(&mut self) {
+        let g = Group::world(self.size());
+        self.barrier_in(&g);
+    }
+    /// World-group broadcast.
+    fn bcast(&mut self, root: u32, data: Option<Bytes>) -> Bytes {
+        let g = Group::world(self.size());
+        self.bcast_in(&g, root, data)
+    }
+    /// World-group reduce.
+    fn reduce_f64(&mut self, root: u32, xs: &[f64], op: ReduceOp) -> Option<Vec<f64>> {
+        let g = Group::world(self.size());
+        self.reduce_f64_in(&g, root, xs, op)
+    }
+    /// World-group allreduce.
+    fn allreduce_f64(&mut self, xs: &[f64], op: ReduceOp) -> Vec<f64> {
+        let g = Group::world(self.size());
+        self.allreduce_f64_in(&g, xs, op)
+    }
+    /// World-group allgather.
+    fn allgather(&mut self, data: Bytes) -> Vec<Bytes> {
+        let g = Group::world(self.size());
+        self.allgather_in(&g, data)
+    }
+    /// World-group all-to-all.
+    fn alltoall(&mut self, blocks: Vec<Bytes>) -> Vec<Bytes> {
+        let g = Group::world(self.size());
+        self.alltoall_in(&g, blocks)
+    }
+    /// World-group gather.
+    fn gather(&mut self, root: u32, data: Bytes) -> Option<Vec<Bytes>> {
+        let g = Group::world(self.size());
+        self.gather_in(&g, root, data)
+    }
+    /// World-group scatter.
+    fn scatter(&mut self, root: u32, blocks: Option<Vec<Bytes>>) -> Bytes {
+        let g = Group::world(self.size());
+        self.scatter_in(&g, root, blocks)
+    }
+
+    /// Send a slice of `f64` values (convenience; payload is the raw LE
+    /// byte representation).
+    fn send_f64(&mut self, dest: u32, tag: Tag, xs: &[f64]) -> u64 {
+        self.send(dest, tag, &f64s_to_bytes(xs))
+    }
+    /// Receive a slice of `f64` values.
+    fn recv_f64(&mut self, src: Option<u32>, tag: Option<Tag>) -> (Message, Vec<f64>) {
+        let m = self.recv(src, tag);
+        let xs = bytes_to_f64s(&m.data);
+        (m, xs)
+    }
+}
+
+/// Encode an `f64` slice as little-endian bytes.
+pub fn f64s_to_bytes(xs: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(xs.len() * 8);
+    for x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+/// Decode little-endian bytes back into `f64`s. Trailing partial values
+/// are ignored.
+pub fn bytes_to_f64s(b: &[u8]) -> Vec<f64> {
+    b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        let xs = [1.0, -2.5, 1e-300, f64::MAX];
+        assert_eq!(bytes_to_f64s(&f64s_to_bytes(&xs)), xs.to_vec());
+    }
+
+    #[test]
+    fn partial_trailing_bytes_ignored() {
+        let mut b = f64s_to_bytes(&[3.0]);
+        b.push(0xFF);
+        assert_eq!(bytes_to_f64s(&b), vec![3.0]);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        assert!(bytes_to_f64s(&f64s_to_bytes(&[])).is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Run summary returned by [`run_app`](crate::run_app).
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a simulated application run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Number of ranks executed.
+    pub nprocs: u32,
+    /// Final virtual clock per rank, seconds.
+    pub rank_clocks: Vec<f64>,
+    /// Virtual makespan: the maximum final rank clock. This is the
+    /// *application execution time* (AET) of the run on the modeled
+    /// machine.
+    pub makespan: f64,
+    /// Total point-to-point messages delivered.
+    pub total_msgs: u64,
+    /// Total point-to-point payload bytes.
+    pub total_bytes: u64,
+    /// Total collective participations (counted per rank per collective).
+    pub total_colls: u64,
+    /// True if the run was terminated early by a harness abort.
+    pub aborted: bool,
+    /// Real (host) seconds the simulation took.
+    pub wall_seconds: f64,
+}
+
+impl RunReport {
+    /// Mean final clock across ranks.
+    pub fn mean_clock(&self) -> f64 {
+        if self.rank_clocks.is_empty() {
+            return 0.0;
+        }
+        self.rank_clocks.iter().sum::<f64>() / self.rank_clocks.len() as f64
+    }
+
+    /// Load imbalance: (max − min) / max final clock, 0 for perfectly
+    /// balanced runs.
+    pub fn imbalance(&self) -> f64 {
+        let max = self.rank_clocks.iter().cloned().fold(f64::MIN, f64::max);
+        let min = self.rank_clocks.iter().cloned().fold(f64::MAX, f64::min);
+        if max <= 0.0 {
+            0.0
+        } else {
+            (max - min) / max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(clocks: Vec<f64>) -> RunReport {
+        let makespan = clocks.iter().cloned().fold(f64::MIN, f64::max);
+        RunReport {
+            nprocs: clocks.len() as u32,
+            rank_clocks: clocks,
+            makespan,
+            total_msgs: 0,
+            total_bytes: 0,
+            total_colls: 0,
+            aborted: false,
+            wall_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn mean_and_imbalance() {
+        let r = report(vec![1.0, 2.0, 3.0]);
+        assert!((r.mean_clock() - 2.0).abs() < 1e-12);
+        assert!((r.imbalance() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_run_has_zero_imbalance() {
+        let r = report(vec![5.0, 5.0]);
+        assert_eq!(r.imbalance(), 0.0);
+    }
+}

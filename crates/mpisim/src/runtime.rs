@@ -1,0 +1,163 @@
+//! Simulation driver: spawns one OS thread per rank and collects results.
+
+use crate::coll::CollSlot;
+use crate::ctx::RankCtx;
+use crate::group::Group;
+use crate::harness::SimHarness;
+use crate::msg::Envelope;
+use crate::report::RunReport;
+use crossbeam::channel::unbounded;
+use parking_lot::Mutex;
+use pas2p_machine::{MachineModel, Mapping, MappingPolicy};
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Once};
+use std::time::Instant;
+
+/// Panic payload used to unwind rank threads on a harness abort. Not an
+/// error: the runtime converts it into `RunReport::aborted`.
+pub struct SimAbort;
+
+static HOOK: Once = Once::new();
+
+/// Suppress the default "thread panicked" message for [`SimAbort`]
+/// unwinds; all other panics keep the previous hook behavior.
+fn install_abort_hook() {
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<SimAbort>().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// State shared by all rank threads of one run.
+pub(crate) struct Shared {
+    pub machine: MachineModel,
+    pub mapping: Mapping,
+    pub msg_ids: AtomicU64,
+    pub abort: AtomicBool,
+    pub slots: Mutex<HashMap<Group, Arc<CollSlot>>>,
+    pub harness: Option<Arc<dyn SimHarness>>,
+    pub total_msgs: AtomicU64,
+    pub total_bytes: AtomicU64,
+    pub total_colls: AtomicU64,
+}
+
+/// Configuration of a simulated run.
+#[derive(Clone)]
+pub struct SimConfig {
+    /// Machine (cluster) the run executes on.
+    pub machine: MachineModel,
+    /// Number of ranks.
+    pub nprocs: u32,
+    /// Process→core placement policy.
+    pub policy: MappingPolicy,
+    /// Optional runtime observer (signature machinery).
+    pub harness: Option<Arc<dyn SimHarness>>,
+}
+
+impl SimConfig {
+    /// A run of `nprocs` ranks on `machine` under `policy`, no harness.
+    pub fn new(machine: MachineModel, nprocs: u32, policy: MappingPolicy) -> SimConfig {
+        SimConfig {
+            machine,
+            nprocs,
+            policy,
+            harness: None,
+        }
+    }
+
+    /// Install a harness observer.
+    pub fn with_harness(mut self, harness: Arc<dyn SimHarness>) -> SimConfig {
+        self.harness = Some(harness);
+        self
+    }
+}
+
+/// Execute `f` once per rank on the configured machine and return the run
+/// report. Panics from application code propagate; [`SimAbort`] unwinds
+/// are converted into `aborted = true`.
+pub fn run_app<F>(cfg: &SimConfig, f: F) -> RunReport
+where
+    F: Fn(&mut RankCtx) + Send + Sync,
+{
+    install_abort_hook();
+    let n = cfg.nprocs;
+    assert!(n > 0, "need at least one rank");
+    let mapping = cfg.machine.map(n, cfg.policy.clone());
+
+    let mut senders = Vec::with_capacity(n as usize);
+    let mut receivers = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let (tx, rx) = unbounded::<Envelope>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let senders = Arc::new(senders);
+
+    let shared = Arc::new(Shared {
+        machine: cfg.machine.clone(),
+        mapping,
+        msg_ids: AtomicU64::new(1),
+        abort: AtomicBool::new(false),
+        slots: Mutex::new(HashMap::new()),
+        harness: cfg.harness.clone(),
+        total_msgs: AtomicU64::new(0),
+        total_bytes: AtomicU64::new(0),
+        total_colls: AtomicU64::new(0),
+    });
+
+    let clocks = Mutex::new(vec![0.0f64; n as usize]);
+    let any_aborted = AtomicBool::new(false);
+    let start = Instant::now();
+    let f = &f;
+
+    std::thread::scope(|s| {
+        for (rank, rx) in receivers.into_iter().enumerate() {
+            let senders = senders.clone();
+            let shared = shared.clone();
+            let clocks = &clocks;
+            let any_aborted = &any_aborted;
+            s.spawn(move || {
+                let mut ctx = RankCtx::new(rank as u32, n, rx, senders, shared.clone());
+                let result = panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+                match result {
+                    Ok(()) => {
+                        if let Some(h) = &shared.harness {
+                            h.on_rank_done(rank as u32, ctx.final_clock());
+                        }
+                    }
+                    Err(payload) => {
+                        if payload.downcast_ref::<SimAbort>().is_some() {
+                            any_aborted.store(true, Ordering::Relaxed);
+                        } else {
+                            // Real application panic: make sure the other
+                            // ranks don't deadlock, then propagate.
+                            shared.abort.store(true, Ordering::Relaxed);
+                            panic::resume_unwind(payload);
+                        }
+                    }
+                }
+                clocks.lock()[rank] = ctx.final_clock();
+            });
+        }
+    });
+
+    let rank_clocks = clocks.into_inner();
+    let makespan = rank_clocks.iter().cloned().fold(0.0f64, f64::max);
+    RunReport {
+        nprocs: n,
+        rank_clocks,
+        makespan,
+        total_msgs: shared.total_msgs.load(Ordering::Relaxed),
+        total_bytes: shared.total_bytes.load(Ordering::Relaxed),
+        total_colls: shared.total_colls.load(Ordering::Relaxed),
+        aborted: any_aborted.load(Ordering::Relaxed),
+        wall_seconds: start.elapsed().as_secs_f64(),
+    }
+}

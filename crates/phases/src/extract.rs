@@ -1,0 +1,470 @@
+//! The phase-extraction algorithm (paper §3.3, Fig 6, Appendix B).
+
+use crate::sig::{CellSig, SimilarityConfig};
+use pas2p_model::LogicalTrace;
+use pas2p_trace::EventKind;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// One concrete occurrence of a phase in the logical trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Occurrence {
+    /// First tick of the occurrence (inclusive).
+    pub start_tick: usize,
+    /// One past the last tick (exclusive).
+    pub end_tick: usize,
+    /// Global boundary time at the start (base-machine seconds).
+    pub t_start: f64,
+    /// Global boundary time at the end.
+    pub t_end: f64,
+    /// Per-process communication-event counts at the start boundary — the
+    /// coordinates the phase table uses to locate the phase in a re-run
+    /// (Fig 7's "number of sends where the phase occurs").
+    pub start_counts: Vec<u64>,
+    /// Per-process counts at the end boundary.
+    pub end_counts: Vec<u64>,
+}
+
+impl Occurrence {
+    /// Wall-clock span of this occurrence on the base machine.
+    pub fn duration(&self) -> f64 {
+        (self.t_end - self.t_start).max(0.0)
+    }
+}
+
+/// A unique phase: a representative tick×process pattern plus every
+/// occurrence that matched it by similarity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Phase identifier (dense, in discovery order).
+    pub id: u32,
+    /// Representative pattern: `pattern[tick][process]`.
+    pub pattern: Vec<Vec<Option<CellSig>>>,
+    /// Repetition count — the paper's *weight*.
+    pub weight: u64,
+    /// All matched occurrences, in trace order.
+    pub occurrences: Vec<Occurrence>,
+}
+
+impl Phase {
+    /// Phase length in ticks.
+    pub fn len_ticks(&self) -> usize {
+        self.pattern.len()
+    }
+
+    /// Mean occurrence duration on the base machine — the PhaseET the
+    /// analysis stage estimates before the signature measures it on a
+    /// target.
+    pub fn mean_duration(&self) -> f64 {
+        if self.occurrences.is_empty() {
+            return 0.0;
+        }
+        self.occurrences.iter().map(|o| o.duration()).sum::<f64>()
+            / self.occurrences.len() as f64
+    }
+
+    /// `weight × mean duration`: this phase's share of the application
+    /// execution time.
+    pub fn contribution(&self) -> f64 {
+        self.weight as f64 * self.mean_duration()
+    }
+
+    /// Number of communication events in one occurrence of the phase.
+    pub fn events_per_occurrence(&self) -> usize {
+        self.pattern
+            .iter()
+            .map(|row| row.iter().filter(|c| c.is_some()).count())
+            .sum()
+    }
+}
+
+/// Result of running phase extraction over a logical trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseAnalysis {
+    /// Number of processes.
+    pub nprocs: u32,
+    /// All unique phases, in discovery order.
+    pub phases: Vec<Phase>,
+    /// Application execution time on the base machine (the last global
+    /// boundary), seconds.
+    pub aet: f64,
+    /// Host wall-clock seconds the extraction took — a component of the
+    /// paper's trace-file analysis time (TFAT, Table 8).
+    pub analysis_seconds: f64,
+}
+
+impl PhaseAnalysis {
+    /// Total number of unique phases (Table 8's "Total Phases").
+    pub fn total_phases(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Phases whose contribution reaches `threshold` (paper: 0.01 = 1 %)
+    /// of the application execution time — the signature constituents.
+    pub fn relevant(&self, threshold: f64) -> Vec<&Phase> {
+        self.phases
+            .iter()
+            .filter(|p| p.contribution() >= threshold * self.aet)
+            .collect()
+    }
+
+    /// Σ weight × mean duration over all phases. Occurrences tile the
+    /// trace, so this reconstructs the AET (up to duplicate-occurrence
+    /// averaging inside a phase).
+    pub fn reconstructed_aet(&self) -> f64 {
+        self.phases.iter().map(|p| p.contribution()).sum()
+    }
+
+    /// Coverage of the relevant phases: which fraction of the AET the
+    /// signature will represent.
+    pub fn relevant_coverage(&self, threshold: f64) -> f64 {
+        if self.aet <= 0.0 {
+            return 0.0;
+        }
+        self.relevant(threshold)
+            .iter()
+            .map(|p| p.contribution())
+            .sum::<f64>()
+            / self.aet
+    }
+}
+
+/// Extract phases from a logical trace (the paper's six-step algorithm).
+pub fn extract_phases(lt: &LogicalTrace, cfg: &SimilarityConfig) -> PhaseAnalysis {
+    let started = Instant::now();
+    let n = lt.nprocs as usize;
+    let ticks = &lt.ticks;
+
+    // Global boundary times: boundary[k] = latest completion among ticks
+    // < k. Occurrences tile [boundary[s], boundary[e]).
+    let mut boundary = Vec::with_capacity(ticks.len() + 1);
+    boundary.push(0.0f64);
+    for tick in ticks {
+        let m = tick
+            .events
+            .iter()
+            .map(|e| e.t_complete)
+            .fold(*boundary.last().unwrap(), f64::max);
+        boundary.push(m);
+    }
+
+    /// Repetition key of an event within the growing window (process plus
+    /// the communication-type triple of `CellSig::repetition_key`).
+    type RepKey = (u32, (EventKind, Option<i64>, u64));
+
+    let mut state = Extractor {
+        lt,
+        cfg,
+        nprocs: n,
+        boundary,
+        running_counts: vec![0u64; n],
+        phases: Vec::new(),
+    };
+
+    // The scan: grow a window from `start`, cutting when a communication
+    // type repeats within a process.
+    let mut start = 0usize;
+    let mut seen: HashMap<RepKey, usize> = HashMap::new();
+    #[allow(clippy::needless_range_loop)] // tick index doubles as boundary id
+    for t in 0..ticks.len() {
+        let mut first_rep: Option<usize> = None;
+        for e in &ticks[t].events {
+            let key = (e.process, CellSig::of(e, lt.nprocs).repetition_key());
+            if let Some(&first) = seen.get(&key) {
+                first_rep = Some(match first_rep {
+                    None => first,
+                    Some(f) => f.min(first),
+                });
+            }
+        }
+        if let Some(first) = first_rep {
+            if first == start {
+                // Step 4a: the repeated event's first occurrence sits at
+                // the Startpoint — the candidate closes just before the
+                // repetition.
+                state.save(start, t);
+            } else {
+                // Step 4b: split into phase a and phase b.
+                state.save(start, first);
+                state.save(first, t);
+            }
+            start = t;
+            seen.clear();
+        }
+        for e in &ticks[t].events {
+            let key = (e.process, CellSig::of(e, lt.nprocs).repetition_key());
+            seen.entry(key).or_insert(t);
+        }
+    }
+    if start < ticks.len() {
+        state.save(start, ticks.len());
+    }
+
+    let aet = *state.boundary.last().unwrap();
+    PhaseAnalysis {
+        nprocs: lt.nprocs,
+        phases: state.phases,
+        aet,
+        analysis_seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
+struct Extractor<'a> {
+    lt: &'a LogicalTrace,
+    cfg: &'a SimilarityConfig,
+    nprocs: usize,
+    boundary: Vec<f64>,
+    /// Per-process event counts at the current save boundary. Saves are
+    /// contiguous, so this always equals the counts at the next start.
+    running_counts: Vec<u64>,
+    phases: Vec<Phase>,
+}
+
+impl Extractor<'_> {
+    /// Save the window `[s, e)` as a phase occurrence: dedupe by
+    /// similarity (step 5) or register a new phase.
+    fn save(&mut self, s: usize, e: usize) {
+        if s >= e {
+            return;
+        }
+        let pattern = self.pattern_of(s, e);
+        let start_counts = self.running_counts.clone();
+        for tick in &self.lt.ticks[s..e] {
+            for ev in &tick.events {
+                self.running_counts[ev.process as usize] += 1;
+            }
+        }
+        let occurrence = Occurrence {
+            start_tick: s,
+            end_tick: e,
+            t_start: self.boundary[s],
+            t_end: self.boundary[e],
+            start_counts,
+            end_counts: self.running_counts.clone(),
+        };
+
+        for phase in &mut self.phases {
+            if self.cfg.phases_similar(&phase.pattern, &pattern) {
+                phase.weight += 1;
+                phase.occurrences.push(occurrence);
+                return;
+            }
+        }
+        self.phases.push(Phase {
+            id: self.phases.len() as u32,
+            pattern,
+            weight: 1,
+            occurrences: vec![occurrence],
+        });
+    }
+
+    fn pattern_of(&self, s: usize, e: usize) -> Vec<Vec<Option<CellSig>>> {
+        self.lt.ticks[s..e]
+            .iter()
+            .map(|tick| {
+                let mut row = vec![None; self.nprocs];
+                for ev in &tick.events {
+                    row[ev.process as usize] = Some(CellSig::of(ev, self.lt.nprocs));
+                }
+                row
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas2p_model::{LogicalEvent, LogicalTrace, Tick};
+
+    /// Build a logical trace directly from (tick, process, kind, size,
+    /// compute) tuples for precise algorithm tests.
+    fn lt_of(nprocs: u32, cells: &[(usize, u32, EventKind, u64, f64)]) -> LogicalTrace {
+        let max_tick = cells.iter().map(|c| c.0).max().unwrap_or(0);
+        let mut ticks = vec![Tick::default(); max_tick + 1];
+        let mut numbers = vec![0u64; nprocs as usize];
+        let mut clock = 0.0;
+        for &(t, p, kind, size, compute) in cells {
+            clock += compute + 0.001;
+            ticks[t].events.push(LogicalEvent {
+                process: p,
+                number: numbers[p as usize],
+                kind,
+                peer: Some((p + 1) % nprocs),
+                size,
+                involved: 1,
+                msg_id: 0,
+                comm_id: 0,
+                compute_before: compute,
+                duration: 0.001,
+                t_post: clock - 0.001,
+                t_complete: clock,
+            });
+            numbers[p as usize] += 1;
+        }
+        for t in &mut ticks {
+            t.events.sort_by_key(|e| e.process);
+        }
+        LogicalTrace { nprocs, ticks }
+    }
+
+    #[test]
+    fn repetition_at_startpoint_closes_phase() {
+        // P0: Send, Recv, Send, Recv, ... — the second Send repeats the
+        // type first seen at the startpoint, closing a 2-tick phase.
+        let cells: Vec<_> = (0..8)
+            .map(|i| {
+                (
+                    i,
+                    0u32,
+                    if i % 2 == 0 { EventKind::Send } else { EventKind::Recv },
+                    64u64,
+                    0.01f64,
+                )
+            })
+            .collect();
+        let analysis = extract_phases(&lt_of(1, &cells), &SimilarityConfig::default());
+        assert_eq!(analysis.total_phases(), 1, "{:#?}", analysis.phases);
+        let p = &analysis.phases[0];
+        assert_eq!(p.len_ticks(), 2);
+        assert_eq!(p.weight, 4);
+    }
+
+    #[test]
+    fn repetition_mid_phase_splits_into_a_and_b() {
+        // Prologue of unique events, then an iterative pattern: the split
+        // rule must produce a prologue phase and an iteration phase.
+        let mut cells = vec![
+            (0, 0, EventKind::Coll(pas2p_trace::CollClass::Bcast), 8, 0.02),
+            (1, 0, EventKind::Send, 999, 0.03),
+        ];
+        // Iterations: Send(64)/Recv(64) pairs.
+        for i in 0..6 {
+            cells.push((
+                2 + i,
+                0,
+                if i % 2 == 0 { EventKind::Send } else { EventKind::Recv },
+                64,
+                0.01,
+            ));
+        }
+        let analysis = extract_phases(&lt_of(1, &cells), &SimilarityConfig::default());
+        // Expect: prologue phase (bcast + send999 [+ first iteration head])
+        // and a repeated iteration phase with weight ≥ 2.
+        assert!(analysis.total_phases() >= 2);
+        let max_weight = analysis.phases.iter().map(|p| p.weight).max().unwrap();
+        assert!(max_weight >= 2, "{:#?}", analysis.phases);
+    }
+
+    #[test]
+    fn occurrences_tile_the_trace() {
+        let cells: Vec<_> = (0..10)
+            .map(|i| {
+                (
+                    i,
+                    0u32,
+                    if i % 2 == 0 { EventKind::Send } else { EventKind::Recv },
+                    64u64,
+                    0.01f64,
+                )
+            })
+            .collect();
+        let lt = lt_of(1, &cells);
+        let analysis = extract_phases(&lt, &SimilarityConfig::default());
+        let mut spans: Vec<(usize, usize)> = analysis
+            .phases
+            .iter()
+            .flat_map(|p| p.occurrences.iter().map(|o| (o.start_tick, o.end_tick)))
+            .collect();
+        spans.sort_unstable();
+        assert_eq!(spans.first().unwrap().0, 0);
+        assert_eq!(spans.last().unwrap().1, lt.len());
+        for w in spans.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "occurrences must be contiguous");
+        }
+        // Σ weight × meanET == AET for perfectly regular traces.
+        assert!((analysis.reconstructed_aet() - analysis.aet).abs() < 1e-9);
+    }
+
+    #[test]
+    fn event_counts_track_occurrence_boundaries() {
+        let cells: Vec<_> = (0..6)
+            .map(|i| {
+                (
+                    i,
+                    0u32,
+                    if i % 2 == 0 { EventKind::Send } else { EventKind::Recv },
+                    64u64,
+                    0.01f64,
+                )
+            })
+            .collect();
+        let analysis = extract_phases(&lt_of(1, &cells), &SimilarityConfig::default());
+        let p = &analysis.phases[0];
+        let occ = &p.occurrences[1];
+        assert_eq!(occ.start_counts, vec![2]);
+        assert_eq!(occ.end_counts, vec![4]);
+    }
+
+    #[test]
+    fn single_shot_pattern_yields_one_phase_weight_one() {
+        // The paper §6: an application with no communication
+        // repetitiveness yields one phase of weight 1 covering everything.
+        let cells = vec![
+            (0, 0, EventKind::Send, 10, 0.01),
+            (1, 0, EventKind::Send, 20, 0.01),
+            (2, 0, EventKind::Send, 40, 0.01),
+            (3, 0, EventKind::Recv, 80, 0.01),
+        ];
+        let analysis = extract_phases(&lt_of(1, &cells), &SimilarityConfig::default());
+        assert_eq!(analysis.total_phases(), 1);
+        assert_eq!(analysis.phases[0].weight, 1);
+        assert!((analysis.phases[0].contribution() - analysis.aet).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relevant_filters_by_contribution() {
+        // Iterative pattern dominating + a tiny unique prologue.
+        let mut cells = vec![(0, 0, EventKind::Send, 999, 1e-6)];
+        for i in 0..20 {
+            cells.push((
+                1 + i,
+                0,
+                if i % 2 == 0 { EventKind::Send } else { EventKind::Recv },
+                64,
+                0.05,
+            ));
+        }
+        let analysis = extract_phases(&lt_of(1, &cells), &SimilarityConfig::default());
+        let relevant = analysis.relevant(0.01);
+        assert!(!relevant.is_empty());
+        assert!(relevant.len() < analysis.total_phases() || analysis.total_phases() == 1);
+        assert!(analysis.relevant_coverage(0.01) > 0.9);
+    }
+
+    #[test]
+    fn multi_process_phases_span_processes() {
+        // 2 processes alternating Send/Recv in lockstep.
+        let mut cells = Vec::new();
+        for i in 0..8 {
+            let kind = if i % 2 == 0 { EventKind::Send } else { EventKind::Recv };
+            cells.push((i, 0u32, kind, 64, 0.01));
+            let kind2 = if i % 2 == 0 { EventKind::Recv } else { EventKind::Send };
+            cells.push((i, 1u32, kind2, 64, 0.01));
+        }
+        let analysis = extract_phases(&lt_of(2, &cells), &SimilarityConfig::default());
+        assert_eq!(analysis.nprocs, 2);
+        let p = &analysis.phases[0];
+        assert_eq!(p.events_per_occurrence(), 4); // 2 ticks × 2 processes
+    }
+
+    #[test]
+    fn empty_trace_has_no_phases() {
+        let lt = LogicalTrace { nprocs: 2, ticks: vec![] };
+        let analysis = extract_phases(&lt, &SimilarityConfig::default());
+        assert_eq!(analysis.total_phases(), 0);
+        assert_eq!(analysis.aet, 0.0);
+        assert_eq!(analysis.reconstructed_aet(), 0.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Event signatures and the similarity criterion.
+
+use pas2p_model::LogicalEvent;
+use pas2p_trace::EventKind;
+use serde::{Deserialize, Serialize};
+
+/// The behavioural signature of one event cell in a phase pattern: what
+/// PBB comparison looks at (paper §3.3 step 5b).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellSig {
+    /// Communication type.
+    pub kind: EventKind,
+    /// Peer expressed as a rank *offset* (`peer − process`, wrapped), so
+    /// that the same stencil exchanged by different ranks compares equal
+    /// and the signature survives re-mapping.
+    pub peer_offset: Option<i64>,
+    /// Communication volume in bytes.
+    pub size: u64,
+    /// Computational time preceding the event (the PBB body), seconds on
+    /// the base machine.
+    pub compute_before: f64,
+}
+
+impl CellSig {
+    /// Build the signature of a logical event.
+    pub fn of(e: &LogicalEvent, nprocs: u32) -> CellSig {
+        let peer_offset = e.peer.map(|p| {
+            let n = nprocs as i64;
+            let d = p as i64 - e.process as i64;
+            d.rem_euclid(n)
+        });
+        CellSig {
+            kind: e.kind,
+            peer_offset,
+            size: e.size,
+            compute_before: e.compute_before,
+        }
+    }
+
+    /// The *repetition key*: what "an event with the same type of
+    /// communication" means for the phase-cutting rule (step 3/4). Volume
+    /// is included so that, e.g., a boundary exchange and a bulk transpose
+    /// to the same peer do not cut each other.
+    pub fn repetition_key(&self) -> (EventKind, Option<i64>, u64) {
+        (self.kind, self.peer_offset, self.size)
+    }
+}
+
+/// Thresholds of the similarity criterion.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SimilarityConfig {
+    /// Two compute times are similar when `min/max ≥ compute_ratio`
+    /// (paper: 85 %).
+    pub compute_ratio: f64,
+    /// Two volumes are similar when `min/max ≥ size_ratio`.
+    pub size_ratio: f64,
+    /// A phase is similar when at least this fraction of its events are
+    /// similar (paper: 80 %, configurable).
+    pub event_fraction: f64,
+    /// Compute times below this floor (seconds) are treated as equal —
+    /// they are noise, not PBB bodies.
+    pub compute_floor: f64,
+}
+
+impl Default for SimilarityConfig {
+    fn default() -> Self {
+        SimilarityConfig {
+            compute_ratio: 0.85,
+            size_ratio: 0.85,
+            event_fraction: 0.80,
+            compute_floor: 1e-7,
+        }
+    }
+}
+
+impl SimilarityConfig {
+    fn ratio_similar(a: f64, b: f64, threshold: f64, floor: f64) -> bool {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        if hi <= floor {
+            return true;
+        }
+        lo / hi >= threshold
+    }
+
+    /// Event-pair similarity (step 5b): same communication type and
+    /// similar volume, plus similar preceding compute time. An absent cell
+    /// ("0" communication) is similar to anything (step 5b, third rule).
+    pub fn cells_similar(&self, a: Option<&CellSig>, b: Option<&CellSig>) -> bool {
+        match (a, b) {
+            (None, _) | (_, None) => true,
+            (Some(a), Some(b)) => {
+                a.kind == b.kind
+                    && a.peer_offset == b.peer_offset
+                    && Self::ratio_similar(a.size as f64, b.size as f64, self.size_ratio, 0.5)
+                    && Self::ratio_similar(
+                        a.compute_before,
+                        b.compute_before,
+                        self.compute_ratio,
+                        self.compute_floor,
+                    )
+            }
+        }
+    }
+
+    /// Phase-level similarity (steps 5a + 5c): equal tick counts, and the
+    /// fraction of similar event cells reaches `event_fraction`. Patterns
+    /// are `[tick][process]` matrices.
+    pub fn phases_similar(
+        &self,
+        a: &[Vec<Option<CellSig>>],
+        b: &[Vec<Option<CellSig>>],
+    ) -> bool {
+        if a.len() != b.len() {
+            return false;
+        }
+        let mut total = 0usize;
+        let mut similar = 0usize;
+        for (ra, rb) in a.iter().zip(b) {
+            debug_assert_eq!(ra.len(), rb.len());
+            for (ca, cb) in ra.iter().zip(rb) {
+                if ca.is_none() && cb.is_none() {
+                    continue; // empty cells on both sides are not events
+                }
+                total += 1;
+                if self.cells_similar(ca.as_ref(), cb.as_ref()) {
+                    similar += 1;
+                }
+            }
+        }
+        if total == 0 {
+            return true; // two all-empty patterns of the same length
+        }
+        similar as f64 / total as f64 >= self.event_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(kind: EventKind, peer: Option<i64>, size: u64, compute: f64) -> CellSig {
+        CellSig {
+            kind,
+            peer_offset: peer,
+            size,
+            compute_before: compute,
+        }
+    }
+
+    #[test]
+    fn peer_offset_is_mapping_independent() {
+        let mk = |process: u32, peer: u32| LogicalEvent {
+            process,
+            number: 0,
+            kind: EventKind::Send,
+            peer: Some(peer),
+            size: 8,
+            involved: 1,
+            msg_id: 1,
+            comm_id: 0,
+            compute_before: 0.0,
+            duration: 0.0,
+            t_post: 0.0,
+            t_complete: 0.0,
+        };
+        // rank 0 → 1 and rank 3 → 0 are both "next neighbour" in a ring of 4.
+        assert_eq!(
+            CellSig::of(&mk(0, 1), 4).peer_offset,
+            CellSig::of(&mk(3, 0), 4).peer_offset
+        );
+    }
+
+    #[test]
+    fn identical_cells_are_similar() {
+        let cfg = SimilarityConfig::default();
+        let a = sig(EventKind::Send, Some(1), 100, 1.0);
+        assert!(cfg.cells_similar(Some(&a), Some(&a)));
+    }
+
+    #[test]
+    fn different_kind_is_dissimilar() {
+        let cfg = SimilarityConfig::default();
+        let a = sig(EventKind::Send, Some(1), 100, 1.0);
+        let b = sig(EventKind::Recv, Some(1), 100, 1.0);
+        assert!(!cfg.cells_similar(Some(&a), Some(&b)));
+    }
+
+    #[test]
+    fn compute_time_within_85_percent_is_similar() {
+        let cfg = SimilarityConfig::default();
+        let a = sig(EventKind::Send, Some(1), 100, 1.0);
+        let close = sig(EventKind::Send, Some(1), 100, 0.90);
+        let far = sig(EventKind::Send, Some(1), 100, 0.5);
+        assert!(cfg.cells_similar(Some(&a), Some(&close)));
+        assert!(!cfg.cells_similar(Some(&a), Some(&far)));
+    }
+
+    #[test]
+    fn absent_cell_is_similar_to_anything() {
+        let cfg = SimilarityConfig::default();
+        let a = sig(EventKind::Send, Some(1), 100, 1.0);
+        assert!(cfg.cells_similar(None, Some(&a)));
+        assert!(cfg.cells_similar(Some(&a), None));
+        assert!(cfg.cells_similar(None, None));
+    }
+
+    #[test]
+    fn tiny_compute_times_are_noise() {
+        let cfg = SimilarityConfig::default();
+        let a = sig(EventKind::Send, Some(1), 100, 1e-9);
+        let b = sig(EventKind::Send, Some(1), 100, 5e-8);
+        assert!(cfg.cells_similar(Some(&a), Some(&b)));
+    }
+
+    #[test]
+    fn phase_similarity_requires_equal_length() {
+        let cfg = SimilarityConfig::default();
+        let row = vec![Some(sig(EventKind::Send, Some(1), 8, 0.1))];
+        assert!(!cfg.phases_similar(std::slice::from_ref(&row), &[row.clone(), row.clone()]));
+    }
+
+    #[test]
+    fn phase_similarity_counts_event_fraction() {
+        let cfg = SimilarityConfig::default();
+        let s = |c: f64| Some(sig(EventKind::Send, Some(1), 8, c));
+        // 10 cells; 8 equal + 2 wildly different = 80% similar → similar.
+        let a: Vec<Vec<Option<CellSig>>> = vec![(0..10).map(|_| s(1.0)).collect()];
+        let mut b = a.clone();
+        b[0][0] = s(100.0);
+        b[0][1] = s(100.0);
+        assert!(cfg.phases_similar(&a, &b));
+        // 3 different of 10 = 70% similar → not similar.
+        b[0][2] = s(100.0);
+        assert!(!cfg.phases_similar(&a, &b));
+    }
+
+    #[test]
+    fn empty_patterns_of_equal_length_are_similar() {
+        let cfg = SimilarityConfig::default();
+        let empty: Vec<Vec<Option<CellSig>>> = vec![vec![None, None]];
+        assert!(cfg.phases_similar(&empty, &empty));
+    }
+}

@@ -1,0 +1,347 @@
+//! The phase table (paper §3.4, Fig 7).
+//!
+//! After analysis, the relevant phases and their weights are saved into a
+//! table whose rows locate each phase inside a re-execution of the
+//! application by per-process communication-event counts: "each row of the
+//! table represents a phase, whose startpoint and endpoint are defined by
+//! the number of sends where the phase occurs". The signature constructor
+//! re-runs the instrumented application with this table loaded, detecting
+//! the startpoints to place checkpoints.
+
+use crate::extract::PhaseAnalysis;
+use serde::{Deserialize, Serialize};
+
+/// The start/end coordinates of one measured occurrence, as per-process
+/// event counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasureWindow {
+    /// Per-process event counts at the occurrence's startpoint.
+    pub start_counts: Vec<u64>,
+    /// Per-process event counts at the occurrence's endpoint.
+    pub end_counts: Vec<u64>,
+}
+
+/// One row of the phase table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseRow {
+    /// Phase identifier.
+    pub phase_id: u32,
+    /// Repetition count.
+    pub weight: u64,
+    /// Mean phase execution time on the base machine, seconds.
+    pub phase_et_base: f64,
+    /// Per-process event counts where the checkpoint is created — before
+    /// the first measured occurrence, early enough that the restarted
+    /// machine warms up (caches, TLBs) before measurement begins
+    /// (paper §3.4 / Fig 8).
+    pub ckpt_counts: Vec<u64>,
+    /// Consecutive occurrences the signature measures; the PhaseET is the
+    /// mean over these windows. The paper measures one occurrence on a
+    /// DMTCP-restored process; our snapshots restore application state but
+    /// not in-flight pipeline overlap, so averaging a run of occurrences
+    /// recovers the steady-state mean (negligible extra SET at real
+    /// weights of 10⁴–10⁵).
+    pub windows: Vec<MeasureWindow>,
+}
+
+impl PhaseRow {
+    /// Startpoint of the first measured occurrence (Fig 7's startpoint).
+    pub fn start_counts(&self) -> &[u64] {
+        &self.windows.first().expect("row has windows").start_counts
+    }
+
+    /// Endpoint of the last measured occurrence.
+    pub fn end_counts(&self) -> &[u64] {
+        &self.windows.last().expect("row has windows").end_counts
+    }
+}
+
+/// The phase table: everything the signature needs to locate, checkpoint
+/// and measure the relevant phases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTable {
+    /// Number of processes of the analyzed run.
+    pub nprocs: u32,
+    /// Application execution time on the base machine.
+    pub aet_base: f64,
+    /// Total phases found by the analysis (Table 8 "Total Phases").
+    pub total_phases: usize,
+    /// Relevance threshold used (paper: 0.01).
+    pub relevance_threshold: f64,
+    /// One row per relevant phase.
+    pub rows: Vec<PhaseRow>,
+}
+
+impl PhaseTable {
+    /// Build the table from an analysis.
+    ///
+    /// * `relevance_threshold` — fraction of AET a phase must contribute
+    ///   (paper: 1 %).
+    /// * `warmup` — minimum occurrences to skip after the first before
+    ///   measurement begins (the checkpoint is placed one occurrence
+    ///   before the first measured occurrence when the weight allows).
+    /// * `measure_occurrences` — maximum consecutive occurrences to
+    ///   measure and average.
+    ///
+    /// Uses automatic warm-up scaling (see [`PhaseTable::from_analysis_with`]).
+    pub fn from_analysis(
+        analysis: &PhaseAnalysis,
+        relevance_threshold: f64,
+        warmup: usize,
+        measure_occurrences: usize,
+    ) -> PhaseTable {
+        Self::from_analysis_with(analysis, relevance_threshold, warmup, measure_occurrences, true)
+    }
+
+    /// Like [`PhaseTable::from_analysis`], with explicit control over automatic
+    /// warm-up scaling: when `auto_warmup` is true the measured occurrence
+    /// is additionally skipped to `occurrences/8` (capped at 32) so
+    /// pipelined applications reach steady state; when false, `warmup` is
+    /// used verbatim (the `ablation_warmup` bench shows why the scaling
+    /// matters).
+    pub fn from_analysis_with(
+        analysis: &PhaseAnalysis,
+        relevance_threshold: f64,
+        warmup: usize,
+        measure_occurrences: usize,
+        auto_warmup: bool,
+    ) -> PhaseTable {
+        let measure_occurrences = measure_occurrences.max(1);
+        let mut rows = Vec::new();
+        for phase in analysis.relevant(relevance_threshold) {
+            let occ_count = phase.occurrences.len();
+            debug_assert!(occ_count > 0);
+            // "The checkpoint is made after the phases have occurred a
+            // series of times" (paper §6): for high-weight phases, skip a
+            // fraction of the occurrences (capped) so pipelined
+            // applications reach steady state before measurement.
+            let measured = if auto_warmup {
+                warmup.max((occ_count / 8).min(32)).min(occ_count - 1)
+            } else {
+                warmup.min(occ_count - 1)
+            };
+            // Checkpoint placement: one occurrence ahead of the measured
+            // one when occurrences are adjacent (warm-up at negligible
+            // cost), but directly at the measured occurrence when they
+            // are sparse — re-executing a long inter-occurrence gap would
+            // dominate the SET (the paper's FT discussion, §6).
+            let ckpt = if measured == 0 {
+                0
+            } else {
+                let gap = phase.occurrences[measured].t_start
+                    - phase.occurrences[measured - 1].t_start;
+                let span = phase.occurrences[measured].duration();
+                if gap <= 4.0 * span.max(1e-12) {
+                    measured - 1
+                } else {
+                    measured
+                }
+            };
+            // Measure a slice of the occurrences proportional to the
+            // weight (1/12th, capped by the configuration): enough to
+            // average out pipeline variation, negligible at real weights.
+            // For sparse phases, extending the slice would re-execute the
+            // long inter-occurrence gaps, so the total measured span is
+            // additionally bounded by a small multiple of the phase's own
+            // duration.
+            let k_max = measure_occurrences
+                .min((occ_count / 12).max(1))
+                .min(occ_count - measured);
+            let span_bound = 24.0 * phase.mean_duration().max(1e-9);
+            let first_start = phase.occurrences[measured].t_start;
+            let mut count = 1;
+            while count < k_max {
+                let span = phase.occurrences[measured + count].t_end - first_start;
+                if span > span_bound {
+                    break;
+                }
+                count += 1;
+            }
+            let windows = phase.occurrences[measured..measured + count]
+                .iter()
+                .map(|o| MeasureWindow {
+                    start_counts: o.start_counts.clone(),
+                    end_counts: o.end_counts.clone(),
+                })
+                .collect();
+            rows.push(PhaseRow {
+                phase_id: phase.id,
+                weight: phase.weight,
+                phase_et_base: phase.mean_duration(),
+                ckpt_counts: phase.occurrences[ckpt].start_counts.clone(),
+                windows,
+            });
+        }
+        PhaseTable {
+            nprocs: analysis.nprocs,
+            aet_base: analysis.aet,
+            total_phases: analysis.total_phases(),
+            relevance_threshold,
+            rows,
+        }
+    }
+
+    /// Number of relevant phases.
+    pub fn relevant_phases(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Serialize to the JSON interchange form (our analog of the
+    /// `PHASE_TABLE` file of Fig 7).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("phase table serializes")
+    }
+
+    /// Parse the JSON interchange form.
+    pub fn from_json(s: &str) -> Result<PhaseTable, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Predicted AET from table contents alone: Σ weight × base PhaseET.
+    /// (The real prediction replaces base PhaseETs with target-machine
+    /// measurements; this is the self-consistency value.)
+    pub fn base_prediction(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.weight as f64 * r.phase_et_base)
+            .sum()
+    }
+}
+
+impl std::fmt::Display for PhaseTable {
+    /// Renders the Fig 7 layout: per-process startpoint and endpoint
+    /// counts, then phase id and weight.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "# PHASE_TABLE ({} processes)", self.nprocs)?;
+        writeln!(f, "# startpoint | endpoint | id | weight")?;
+        for row in &self.rows {
+            let sp: Vec<String> = row.start_counts().iter().map(|c| c.to_string()).collect();
+            let ep: Vec<String> = row.end_counts().iter().map(|c| c.to_string()).collect();
+            writeln!(
+                f,
+                "{} | {} | {} | {}",
+                sp.join(" "),
+                ep.join(" "),
+                row.phase_id,
+                row.weight
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{extract_phases, Occurrence, Phase};
+    use crate::sig::SimilarityConfig;
+    use pas2p_model::{LogicalEvent, LogicalTrace, Tick};
+    use pas2p_trace::EventKind;
+
+    fn iterative_analysis(iters: usize) -> PhaseAnalysis {
+        let mut ticks = Vec::new();
+        let mut clock = 0.0;
+        for (number, i) in (0..iters * 2).enumerate() {
+            clock += 0.01;
+            ticks.push(Tick {
+                events: vec![LogicalEvent {
+                    process: 0,
+                    number: number as u64,
+                    kind: if i % 2 == 0 { EventKind::Send } else { EventKind::Recv },
+                    peer: Some(0),
+                    size: 64,
+                    involved: 1,
+                    msg_id: 0,
+                    comm_id: 0,
+                    compute_before: 0.01,
+                    duration: 0.0,
+                    t_post: clock,
+                    t_complete: clock,
+                }],
+            });
+        }
+        extract_phases(&LogicalTrace { nprocs: 1, ticks }, &SimilarityConfig::default())
+    }
+
+    use crate::extract::PhaseAnalysis;
+
+    #[test]
+    fn table_rows_cover_relevant_phases() {
+        let analysis = iterative_analysis(10);
+        let table = PhaseTable::from_analysis(&analysis, 0.01, 1, 1);
+        assert_eq!(table.relevant_phases(), 1);
+        assert_eq!(table.total_phases, 1);
+        let row = &table.rows[0];
+        assert_eq!(row.weight, 10);
+        // Measured occurrence is the second (warm-up 1); checkpoint is at
+        // the first occurrence's start.
+        assert_eq!(row.ckpt_counts, vec![0]);
+        assert_eq!(row.start_counts(), &[2]);
+        assert_eq!(row.end_counts(), &[4]);
+    }
+
+    #[test]
+    fn warmup_clamps_to_available_occurrences() {
+        let analysis = iterative_analysis(1);
+        let table = PhaseTable::from_analysis(&analysis, 0.01, 5, 1);
+        let row = &table.rows[0];
+        assert_eq!(row.start_counts(), &[0]);
+        assert_eq!(row.ckpt_counts, vec![0]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let analysis = iterative_analysis(4);
+        let table = PhaseTable::from_analysis(&analysis, 0.01, 1, 1);
+        let back = PhaseTable::from_json(&table.to_json()).unwrap();
+        assert_eq!(back, table);
+    }
+
+    #[test]
+    fn display_matches_fig7_shape() {
+        let analysis = iterative_analysis(4);
+        let table = PhaseTable::from_analysis(&analysis, 0.01, 1, 1);
+        let s = table.to_string();
+        assert!(s.contains("PHASE_TABLE"));
+        assert!(s.lines().count() >= 3);
+        assert!(s.contains(" | "));
+    }
+
+    #[test]
+    fn base_prediction_approximates_aet() {
+        let analysis = iterative_analysis(50);
+        let table = PhaseTable::from_analysis(&analysis, 0.01, 1, 1);
+        let pred = table.base_prediction();
+        assert!(
+            (pred - analysis.aet).abs() / analysis.aet < 0.05,
+            "pred {} vs aet {}",
+            pred,
+            analysis.aet
+        );
+    }
+
+    #[test]
+    fn irrelevant_phases_are_dropped() {
+        // Hand-build an analysis with one dominant and one negligible phase.
+        let occ = |t0: f64, t1: f64| Occurrence {
+            start_tick: 0,
+            end_tick: 1,
+            t_start: t0,
+            t_end: t1,
+            start_counts: vec![0],
+            end_counts: vec![1],
+        };
+        let analysis = PhaseAnalysis {
+            nprocs: 1,
+            phases: vec![
+                Phase { id: 0, pattern: vec![], weight: 100, occurrences: vec![occ(0.0, 1.0)] },
+                Phase { id: 1, pattern: vec![], weight: 1, occurrences: vec![occ(0.0, 1e-4)] },
+            ],
+            aet: 100.0,
+            analysis_seconds: 0.0,
+        };
+        let table = PhaseTable::from_analysis(&analysis, 0.01, 1, 1);
+        assert_eq!(table.relevant_phases(), 1);
+        assert_eq!(table.rows[0].phase_id, 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Signature construction (paper §3.4, Figs 8–9a).
+//!
+//! "To construct the signature, we re-run the application loading the
+//! Libpas2p library and the phase table to instrument and detect where the
+//! phases occur" — at each relevant phase's startpoint a coordinated
+//! checkpoint is created, and "after completing the checkpoint for the
+//! last phase, the signature terminates the execution because it is not
+//! necessary to continue".
+
+use crate::app::MpiApp;
+use crate::checkpoint::{CheckpointPoint, CkptCoordinator, RowTargets};
+use pas2p_machine::{IsaKind, MachineModel, MappingPolicy};
+use pas2p_mpisim::{run_app, Mpi, SimConfig};
+use pas2p_phases::{PhaseRow, PhaseTable};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Tunables of signature construction and execution.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SignatureConfig {
+    /// Fraction of AET a phase must contribute to be relevant (paper: 1 %).
+    pub relevance_threshold: f64,
+    /// Minimum occurrences to skip after restart before measurement
+    /// (machine warm-up; paper places the checkpoint before the phase
+    /// start and lets the phase occur "a series of times").
+    pub warmup_occurrences: usize,
+    /// Maximum consecutive occurrences measured and averaged per phase.
+    pub measure_occurrences: usize,
+    /// Modeled disk bandwidth for checkpoint writes/restores, bytes/s.
+    pub disk_bandwidth: f64,
+    /// Fixed cost of creating one coordinated checkpoint, seconds.
+    pub ckpt_latency: f64,
+    /// Fixed cost of restarting one checkpoint, seconds.
+    pub restart_latency: f64,
+}
+
+impl Default for SignatureConfig {
+    fn default() -> Self {
+        SignatureConfig {
+            relevance_threshold: 0.01,
+            warmup_occurrences: 1,
+            measure_occurrences: 24,
+            disk_bandwidth: 200e6,
+            ckpt_latency: 0.08,
+            restart_latency: 0.12,
+        }
+    }
+}
+
+/// One relevant phase inside a signature: its table row plus the
+/// checkpoint that resumes execution just before it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SignatureEntry {
+    /// The phase-table row (weights, coordinates, base PhaseET).
+    pub row: PhaseRow,
+    /// Where the measurement run starts.
+    pub checkpoint: CheckpointPoint,
+}
+
+/// The parallel application signature: executable phase measurements plus
+/// the metadata to predict from them. "The signature is the real code of
+/// the application": executing it resumes the actual program state and
+/// runs the actual kernel on the target machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Signature {
+    /// Application name.
+    pub app_name: String,
+    /// Workload description used during analysis.
+    pub workload: String,
+    /// Number of processes.
+    pub nprocs: u32,
+    /// Machine the signature was constructed on.
+    pub base_machine: String,
+    /// ISA of the base machine — checkpoints only restart on the same ISA
+    /// (paper §7 / Appendix E).
+    pub isa: IsaKind,
+    /// The phase table the signature was built from.
+    pub table: PhaseTable,
+    /// One entry per relevant phase.
+    pub entries: Vec<SignatureEntry>,
+    /// Configuration used to build (and later execute) the signature.
+    pub config: SignatureConfig,
+}
+
+impl Signature {
+    /// Total checkpoint payload in bytes.
+    pub fn checkpoint_bytes(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| match &e.checkpoint {
+                CheckpointPoint::Data(d) => d.size_bytes(),
+                CheckpointPoint::Start => 0,
+            })
+            .sum()
+    }
+
+    /// Number of relevant phases in the signature.
+    pub fn phase_count(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Timing of the construction run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ConstructionStats {
+    /// The paper's SCT: virtual time of the (early-terminated)
+    /// construction re-run plus modeled checkpoint write costs.
+    pub sct: f64,
+    /// Virtual makespan of the construction run alone.
+    pub run_makespan: f64,
+    /// Modeled checkpoint write cost, seconds.
+    pub ckpt_write_seconds: f64,
+    /// Total checkpoint bytes written.
+    pub ckpt_bytes: u64,
+    /// Host wall-clock seconds construction took.
+    pub wall_seconds: f64,
+}
+
+/// Re-run the application on `machine` with `table` loaded, creating the
+/// coordinated checkpoints, and assemble the signature.
+pub fn construct_signature(
+    app: &dyn MpiApp,
+    table: &PhaseTable,
+    machine: &MachineModel,
+    policy: MappingPolicy,
+    config: SignatureConfig,
+) -> (Signature, ConstructionStats) {
+    let started = Instant::now();
+    let n = app.nprocs();
+    assert_eq!(n, table.nprocs, "phase table is for a different run size");
+
+    let rows: Vec<RowTargets> = table
+        .rows
+        .iter()
+        .map(|r| RowTargets {
+            ckpt_counts: r.ckpt_counts.clone(),
+            end_counts: r.end_counts().to_vec(),
+        })
+        .collect();
+    let coord = Arc::new(CkptCoordinator::new(n as usize, rows));
+
+    let sim = SimConfig::new(machine.clone(), n, policy);
+    let coord_ref = coord.clone();
+    let report = run_app(&sim, move |ctx| {
+        let rank = ctx.rank();
+        let mut prog = app.make_rank(rank);
+        prog.prologue(ctx);
+
+        let boundary = |prog: &dyn crate::app::RankProgram, ctx: &mut pas2p_mpisim::RankCtx, step: u64| {
+            let snap = coord_ref.wants_snapshot().then(|| prog.snapshot());
+            coord_ref
+                .boundary(rank, step, ctx.counters().comm_ops(), ctx.now(), snap)
+                .all_finalized
+        };
+
+        if boundary(prog.as_ref(), ctx, 0) {
+            return;
+        }
+        let steps = prog.steps();
+        for s in 0..steps {
+            prog.step(s, ctx);
+            if boundary(prog.as_ref(), ctx, s + 1) {
+                return;
+            }
+        }
+        prog.epilogue(ctx);
+        // Final boundary so trailing rows finalize on complete traces.
+        boundary(prog.as_ref(), ctx, steps + 1);
+    });
+
+    let checkpoints = Arc::into_inner(coord)
+        .expect("coordinator still shared")
+        .into_checkpoints();
+    let entries: Vec<SignatureEntry> = table
+        .rows
+        .iter()
+        .cloned()
+        .zip(checkpoints)
+        .map(|(row, checkpoint)| SignatureEntry { row, checkpoint })
+        .collect();
+
+    let signature = Signature {
+        app_name: app.name(),
+        workload: app.workload(),
+        nprocs: n,
+        base_machine: machine.name.clone(),
+        isa: machine.isa,
+        table: table.clone(),
+        entries,
+        config,
+    };
+
+    let ckpt_bytes = signature.checkpoint_bytes();
+    let ckpt_write_seconds = signature.entries.len() as f64 * config.ckpt_latency
+        + ckpt_bytes as f64 / config.disk_bandwidth;
+    let stats = ConstructionStats {
+        sct: report.makespan + ckpt_write_seconds,
+        run_makespan: report.makespan,
+        ckpt_write_seconds,
+        ckpt_bytes,
+        wall_seconds: started.elapsed().as_secs_f64(),
+    };
+    (signature, stats)
+}

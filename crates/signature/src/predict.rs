@@ -1,0 +1,203 @@
+//! The prediction model (paper §4, Equation 1) and the experimental
+//! validation block (Fig 12).
+
+use crate::app::{run_plain, MpiApp};
+use crate::construct::Signature;
+use crate::execute::{execute_signature, ExecError};
+use pas2p_machine::{MachineModel, MappingPolicy};
+use serde::{Deserialize, Serialize};
+
+/// One phase's measurement on the target machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseMeasurement {
+    /// Phase identifier.
+    pub phase_id: u32,
+    /// Weight (repetition count) from the analysis.
+    pub weight: u64,
+    /// Measured phase execution time on the target, seconds.
+    pub phase_et: f64,
+    /// Virtual time the measurement run took (restart → abort).
+    pub measured_span: f64,
+    /// Modeled checkpoint restart cost, seconds.
+    pub restart_cost: f64,
+}
+
+impl PhaseMeasurement {
+    /// This phase's contribution to the prediction: `PhaseET × W`.
+    pub fn contribution(&self) -> f64 {
+        self.phase_et * self.weight as f64
+    }
+}
+
+/// The signature's output on a target machine: the predicted execution
+/// time (PET) and the signature execution time (SET).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Application name.
+    pub app: String,
+    /// Machine the signature was built on.
+    pub base_machine: String,
+    /// Machine the signature executed on.
+    pub target_machine: String,
+    /// Number of processes.
+    pub nprocs: u32,
+    /// Per-phase measurements.
+    pub measurements: Vec<PhaseMeasurement>,
+    /// Predicted execution time: `Σ PhaseETᵢ · Wᵢ` (Equation 1).
+    pub pet: f64,
+    /// Signature execution time: restart costs plus measurement runs.
+    pub set: f64,
+    /// Host wall-clock seconds the signature execution took.
+    pub wall_seconds: f64,
+}
+
+impl Prediction {
+    /// Assemble a prediction from phase measurements, applying Equation 1.
+    pub fn from_measurements(
+        app: String,
+        base_machine: String,
+        target_machine: String,
+        nprocs: u32,
+        measurements: Vec<PhaseMeasurement>,
+        wall_seconds: f64,
+    ) -> Prediction {
+        let pet = measurements.iter().map(|m| m.contribution()).sum();
+        let set = measurements
+            .iter()
+            .map(|m| m.restart_cost + m.measured_span)
+            .sum();
+        Prediction {
+            app,
+            base_machine,
+            target_machine,
+            nprocs,
+            measurements,
+            pet,
+            set,
+            wall_seconds,
+        }
+    }
+}
+
+/// The paper's experimental-validation block (Fig 12): execute the
+/// signature for the PET, execute the whole application for the AET, and
+/// report the prediction error.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// The signature's prediction on the target.
+    pub prediction: Prediction,
+    /// Measured application execution time on the target, seconds.
+    pub aet: f64,
+    /// Prediction execution-time error: `100·|PET − AET| / AET`
+    /// (Table 5/7 "PETE(%)").
+    pub pete_percent: f64,
+    /// `100·SET / AET` (Table 5/7 "SET versus AET").
+    pub set_vs_aet_percent: f64,
+}
+
+impl ValidationReport {
+    /// Prediction accuracy in percent (100 − PETE).
+    pub fn accuracy_percent(&self) -> f64 {
+        100.0 - self.pete_percent
+    }
+}
+
+/// Run the full validation methodology against one target machine:
+/// signature → PET, whole application → AET, then PETE.
+pub fn validate(
+    app: &dyn MpiApp,
+    signature: &Signature,
+    target: &MachineModel,
+    policy: MappingPolicy,
+) -> Result<ValidationReport, ExecError> {
+    let prediction = execute_signature(app, signature, target, policy.clone())?;
+    let aet = run_plain(app, target, policy).makespan;
+    Ok(report_from(prediction, aet))
+}
+
+/// Build a validation report from an existing prediction and a measured
+/// AET (lets benches reuse an AET across configurations).
+pub fn report_from(prediction: Prediction, aet: f64) -> ValidationReport {
+    let pete_percent = if aet > 0.0 {
+        100.0 * (prediction.pet - aet).abs() / aet
+    } else {
+        0.0
+    };
+    let set_vs_aet_percent = if aet > 0.0 {
+        100.0 * prediction.set / aet
+    } else {
+        0.0
+    };
+    ValidationReport {
+        prediction,
+        aet,
+        pete_percent,
+        set_vs_aet_percent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas(id: u32, weight: u64, et: f64) -> PhaseMeasurement {
+        PhaseMeasurement {
+            phase_id: id,
+            weight,
+            phase_et: et,
+            measured_span: et * 2.0,
+            restart_cost: 0.5,
+        }
+    }
+
+    #[test]
+    fn equation_one_sums_weighted_phase_times() {
+        let p = Prediction::from_measurements(
+            "x".into(),
+            "A".into(),
+            "B".into(),
+            4,
+            vec![meas(0, 100, 0.01), meas(1, 50, 0.02)],
+            0.0,
+        );
+        assert!((p.pet - (100.0 * 0.01 + 50.0 * 0.02)).abs() < 1e-12);
+        assert!((p.set - (0.5 + 0.02 + 0.5 + 0.04)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pete_measures_relative_error() {
+        let p = Prediction::from_measurements(
+            "x".into(),
+            "A".into(),
+            "B".into(),
+            4,
+            vec![meas(0, 100, 0.01)], // PET = 1.0
+            0.0,
+        );
+        let r = report_from(p, 1.25);
+        assert!((r.pete_percent - 20.0).abs() < 1e-9);
+        assert!((r.accuracy_percent() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_vs_aet_ratio() {
+        let p = Prediction::from_measurements(
+            "x".into(),
+            "A".into(),
+            "B".into(),
+            4,
+            vec![meas(0, 1, 1.0)], // SET = 0.5 + 2.0
+            0.0,
+        );
+        let r = report_from(p, 100.0);
+        assert!((r.set_vs_aet_percent - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_aet_is_handled() {
+        let p = Prediction::from_measurements("x".into(), "A".into(), "B".into(), 1, vec![], 0.0);
+        let r = report_from(p, 0.0);
+        assert_eq!(r.pete_percent, 0.0);
+        assert_eq!(r.set_vs_aet_percent, 0.0);
+    }
+}

@@ -1,0 +1,379 @@
+//! The interposition wrapper and trace collection.
+
+use crate::event::{EventKind, ProcessTrace, Trace, TraceEvent};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use pas2p_machine::Work;
+use pas2p_mpisim::{Counters, Group, Message, Mpi, ReduceOp, Tag};
+
+/// Cost model of the instrumentation itself.
+///
+/// Every intercepted event costs a little CPU time (buffering the record,
+/// reading the clock). The paper's Table 9 measures the resulting
+/// AET_PAS2P > AET; LU, with the most communication events, shows the
+/// largest slowdown. The default of 3 µs per event is typical of
+/// lightweight PMPI tracers.
+#[derive(Debug, Clone, Copy)]
+pub struct InstrumentationModel {
+    /// Virtual seconds charged to the rank per recorded event.
+    pub per_event_seconds: f64,
+}
+
+impl Default for InstrumentationModel {
+    fn default() -> Self {
+        InstrumentationModel {
+            per_event_seconds: 3e-6,
+        }
+    }
+}
+
+impl InstrumentationModel {
+    /// An overhead-free model, for tests needing exact times.
+    pub fn free() -> InstrumentationModel {
+        InstrumentationModel {
+            per_event_seconds: 0.0,
+        }
+    }
+}
+
+/// Gathers per-rank logs produced by [`Traced`] wrappers into a [`Trace`].
+pub struct TraceCollector {
+    nprocs: u32,
+    machine: String,
+    model: InstrumentationModel,
+    slots: Mutex<Vec<Option<ProcessTrace>>>,
+}
+
+impl TraceCollector {
+    /// Collector for an `nprocs`-rank run on machine `machine`.
+    pub fn new(nprocs: u32, machine: impl Into<String>, model: InstrumentationModel) -> Self {
+        TraceCollector {
+            nprocs,
+            machine: machine.into(),
+            model,
+            slots: Mutex::new(vec![None; nprocs as usize]),
+        }
+    }
+
+    /// The instrumentation model ranks should charge.
+    pub fn model(&self) -> InstrumentationModel {
+        self.model
+    }
+
+    fn deposit(&self, log: ProcessTrace) {
+        let mut slots = self.slots.lock();
+        let rank = log.process as usize;
+        assert!(
+            slots[rank].is_none(),
+            "rank {} deposited its trace twice",
+            rank
+        );
+        slots[rank] = Some(log);
+    }
+
+    /// Assemble the full trace. Panics if any rank never deposited.
+    pub fn into_trace(self) -> Trace {
+        let slots = self.slots.into_inner();
+        let procs: Vec<ProcessTrace> = slots
+            .into_iter()
+            .enumerate()
+            .map(|(rank, s)| s.unwrap_or_else(|| panic!("rank {} never finished tracing", rank)))
+            .collect();
+        Trace {
+            nprocs: self.nprocs,
+            machine: self.machine,
+            procs,
+        }
+    }
+}
+
+/// The `libpas2p` analog: wraps any [`Mpi`] implementation, recording an
+/// event per communication call, then delegates. Create one per rank
+/// inside the rank closure and call [`Traced::finish`] before returning.
+pub struct Traced<'a, C: Mpi> {
+    inner: &'a mut C,
+    collector: &'a TraceCollector,
+    events: Vec<TraceEvent>,
+    per_event: f64,
+}
+
+impl<'a, C: Mpi> Traced<'a, C> {
+    /// Instrument `inner`, depositing the log into `collector` on finish.
+    pub fn new(inner: &'a mut C, collector: &'a TraceCollector) -> Self {
+        let per_event = collector.model().per_event_seconds;
+        Traced {
+            inner,
+            collector,
+            events: Vec::new(),
+            per_event,
+        }
+    }
+
+    /// Number of events recorded so far on this rank.
+    pub fn recorded(&self) -> usize {
+        self.events.len()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &mut self,
+        t_post: f64,
+        kind: EventKind,
+        peer: Option<u32>,
+        tag: Tag,
+        size: u64,
+        involved: u32,
+        msg_id: u64,
+        comm_id: u64,
+    ) {
+        let t_complete = self.inner.now();
+        let number = self.events.len() as u64;
+        self.events.push(TraceEvent {
+            number,
+            process: self.inner.rank(),
+            t_post,
+            t_complete,
+            kind,
+            peer,
+            tag,
+            size,
+            involved,
+            msg_id,
+            comm_id,
+        });
+        // Charge the instrumentation overhead after the event completes.
+        self.inner.elapse(self.per_event);
+    }
+
+    /// Deposit this rank's log into the collector. Must be called exactly
+    /// once, after the application code finishes.
+    pub fn finish(self) {
+        let log = ProcessTrace {
+            process: self.inner.rank(),
+            events: self.events,
+            end_time: self.inner.now(),
+        };
+        self.collector.deposit(log);
+    }
+}
+
+impl<'a, C: Mpi> Mpi for Traced<'a, C> {
+    fn rank(&self) -> u32 {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> u32 {
+        self.inner.size()
+    }
+
+    fn now(&self) -> f64 {
+        self.inner.now()
+    }
+
+    fn compute(&mut self, work: Work) {
+        // Computation is not an event in the PAS2P model; it is recovered
+        // from inter-event gaps during analysis.
+        self.inner.compute(work);
+    }
+
+    fn elapse(&mut self, seconds: f64) {
+        self.inner.elapse(seconds);
+    }
+
+    fn send(&mut self, dest: u32, tag: Tag, data: &[u8]) -> u64 {
+        let t_post = self.inner.now();
+        let msg_id = self.inner.send(dest, tag, data);
+        self.record(
+            t_post,
+            EventKind::Send,
+            Some(dest),
+            tag,
+            data.len() as u64,
+            1,
+            msg_id,
+            0,
+        );
+        msg_id
+    }
+
+    fn recv(&mut self, src: Option<u32>, tag: Option<Tag>) -> Message {
+        let t_post = self.inner.now();
+        let m = self.inner.recv(src, tag);
+        self.record(
+            t_post,
+            EventKind::Recv,
+            Some(m.src),
+            m.tag,
+            m.data.len() as u64,
+            1,
+            m.msg_id,
+            0,
+        );
+        m
+    }
+
+    fn wait(&mut self, req: pas2p_mpisim::RecvRequest) -> Message {
+        // A nonblocking receive is one Recv event posted at irecv time and
+        // completed at the wait — exactly how PMPI tracers attribute it.
+        let t_post = req.posted_at;
+        let m = self.inner.wait(req);
+        self.record(
+            t_post,
+            EventKind::Recv,
+            Some(m.src),
+            m.tag,
+            m.data.len() as u64,
+            1,
+            m.msg_id,
+            0,
+        );
+        m
+    }
+
+    fn barrier_in(&mut self, group: &Group) {
+        let t_post = self.inner.now();
+        self.inner.barrier_in(group);
+        self.record(
+            t_post,
+            EventKind::Coll(crate::event::CollClass::Barrier),
+            None,
+            0,
+            0,
+            group.len() as u32,
+            0,
+            group.comm_id(),
+        );
+    }
+
+    fn bcast_in(&mut self, group: &Group, root: u32, data: Option<Bytes>) -> Bytes {
+        let t_post = self.inner.now();
+        let size = data.as_ref().map(|d| d.len() as u64).unwrap_or(0);
+        let out = self.inner.bcast_in(group, root, data);
+        let size = size.max(out.len() as u64);
+        self.record(
+            t_post,
+            EventKind::Coll(crate::event::CollClass::Bcast),
+            None,
+            0,
+            size,
+            group.len() as u32,
+            0,
+            group.comm_id(),
+        );
+        out
+    }
+
+    fn reduce_f64_in(
+        &mut self,
+        group: &Group,
+        root: u32,
+        xs: &[f64],
+        op: ReduceOp,
+    ) -> Option<Vec<f64>> {
+        let t_post = self.inner.now();
+        let out = self.inner.reduce_f64_in(group, root, xs, op);
+        self.record(
+            t_post,
+            EventKind::Coll(crate::event::CollClass::Reduce),
+            None,
+            0,
+            (xs.len() * 8) as u64,
+            group.len() as u32,
+            0,
+            group.comm_id(),
+        );
+        out
+    }
+
+    fn allreduce_f64_in(&mut self, group: &Group, xs: &[f64], op: ReduceOp) -> Vec<f64> {
+        let t_post = self.inner.now();
+        let out = self.inner.allreduce_f64_in(group, xs, op);
+        self.record(
+            t_post,
+            EventKind::Coll(crate::event::CollClass::Allreduce),
+            None,
+            0,
+            (xs.len() * 8) as u64,
+            group.len() as u32,
+            0,
+            group.comm_id(),
+        );
+        out
+    }
+
+    fn allgather_in(&mut self, group: &Group, data: Bytes) -> Vec<Bytes> {
+        let t_post = self.inner.now();
+        let size = data.len() as u64;
+        let out = self.inner.allgather_in(group, data);
+        self.record(
+            t_post,
+            EventKind::Coll(crate::event::CollClass::Allgather),
+            None,
+            0,
+            size,
+            group.len() as u32,
+            0,
+            group.comm_id(),
+        );
+        out
+    }
+
+    fn alltoall_in(&mut self, group: &Group, blocks: Vec<Bytes>) -> Vec<Bytes> {
+        let t_post = self.inner.now();
+        let size = blocks.iter().map(|b| b.len() as u64).max().unwrap_or(0);
+        let out = self.inner.alltoall_in(group, blocks);
+        self.record(
+            t_post,
+            EventKind::Coll(crate::event::CollClass::Alltoall),
+            None,
+            0,
+            size,
+            group.len() as u32,
+            0,
+            group.comm_id(),
+        );
+        out
+    }
+
+    fn gather_in(&mut self, group: &Group, root: u32, data: Bytes) -> Option<Vec<Bytes>> {
+        let t_post = self.inner.now();
+        let size = data.len() as u64;
+        let out = self.inner.gather_in(group, root, data);
+        self.record(
+            t_post,
+            EventKind::Coll(crate::event::CollClass::Gather),
+            None,
+            0,
+            size,
+            group.len() as u32,
+            0,
+            group.comm_id(),
+        );
+        out
+    }
+
+    fn scatter_in(&mut self, group: &Group, root: u32, blocks: Option<Vec<Bytes>>) -> Bytes {
+        let t_post = self.inner.now();
+        let size = blocks
+            .as_ref()
+            .map(|bs| bs.iter().map(|b| b.len() as u64).max().unwrap_or(0))
+            .unwrap_or(0);
+        let out = self.inner.scatter_in(group, root, blocks);
+        let size = size.max(out.len() as u64);
+        self.record(
+            t_post,
+            EventKind::Coll(crate::event::CollClass::Scatter),
+            None,
+            0,
+            size,
+            group.len() as u32,
+            0,
+            group.comm_id(),
+        );
+        out
+    }
+
+    fn counters(&self) -> Counters {
+        self.inner.counters()
+    }
+}

@@ -1,0 +1,71 @@
+//! Quickstart: the whole PAS2P methodology in ~40 lines.
+//!
+//! Analyze the Moldy MD kernel on cluster A (the base machine), build its
+//! signature, then predict its execution time on cluster B and compare
+//! with the measured time — the paper's Fig 12 validation loop.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pas2p::prelude::*;
+use pas2p::Pas2p;
+use pas2p_apps::MoldyApp;
+
+fn main() {
+    let app = MoldyApp {
+        nprocs: 16,
+        steps: 60,
+        rebuild_every: 10,
+        atoms_per_proc: 1024,
+    };
+    let base = cluster_a();
+    let target = cluster_b();
+    let pas2p = Pas2p::default();
+
+    println!("== Stage A: analysis on {} ==", base.name);
+    let analysis = pas2p.analyze(&app, &base, MappingPolicy::Block);
+    println!(
+        "traced {} events ({}), model+phases in {:.3}s",
+        analysis.trace_events,
+        pas2p::experiment::human_bytes(analysis.trace_bytes),
+        analysis.tfat_seconds
+    );
+    println!(
+        "phases: {} total, {} relevant (>= 1% of AET)",
+        analysis.total_phases(),
+        analysis.relevant_phases()
+    );
+    println!("\n{}", analysis.table);
+
+    let (signature, stats) = pas2p.build_signature(&app, &analysis, &base, MappingPolicy::Block);
+    println!(
+        "signature: {} phases, {} of checkpoints, SCT {:.2}s",
+        signature.phase_count(),
+        pas2p::experiment::human_bytes(signature.checkpoint_bytes()),
+        stats.sct
+    );
+
+    println!("\n== Stage B: prediction for {} ==", target.name);
+    let report = pas2p
+        .validate(&app, &signature, &target, MappingPolicy::Block)
+        .expect("same ISA");
+    for m in &report.prediction.measurements {
+        println!(
+            "phase {}: PhaseET {:.6}s x weight {} = {:.2}s",
+            m.phase_id,
+            m.phase_et,
+            m.weight,
+            m.contribution()
+        );
+    }
+    println!(
+        "\nPET {:.2}s vs AET {:.2}s -> PETE {:.2}% (accuracy {:.2}%)",
+        report.prediction.pet,
+        report.aet,
+        report.pete_percent,
+        report.accuracy_percent()
+    );
+    println!(
+        "SET {:.2}s = {:.2}% of AET — the signature is a small fraction of the run",
+        report.prediction.set, report.set_vs_aet_percent
+    );
+}

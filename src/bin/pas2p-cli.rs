@@ -1,0 +1,170 @@
+//! `pas2p-cli` — the PAS2P tool as a command-line utility.
+//!
+//! ```text
+//! pas2p-cli list
+//! pas2p-cli analyze   --app cg --nprocs 16 --base A [--out analysis.json]
+//! pas2p-cli signature --app cg --nprocs 16 --base A [--out signature.json]
+//! pas2p-cli predict   --app cg --nprocs 16 --signature signature.json --target B
+//! pas2p-cli validate  --app cg --nprocs 16 --base A --target B
+//! ```
+//!
+//! Applications come from the built-in catalog (`pas2p_apps::by_name`);
+//! machines are the paper's clusters A–D. Analyses and signatures are
+//! exchanged as JSON.
+
+use pas2p::prelude::*;
+use pas2p::Pas2p;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  pas2p-cli list\n  pas2p-cli analyze   --app NAME --nprocs N --base M [--out FILE]\n  pas2p-cli signature --app NAME --nprocs N --base M [--out FILE]\n  pas2p-cli predict   --app NAME --nprocs N --signature FILE --target M\n  pas2p-cli validate  --app NAME --nprocs N --base M --target M\nmachines: A, B, C, D (the paper's clusters)"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].strip_prefix("--")?;
+        let value = args.get(i + 1)?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Some(flags)
+}
+
+fn machine(flags: &HashMap<String, String>, key: &str) -> Result<MachineModel, String> {
+    let name = flags
+        .get(key)
+        .ok_or_else(|| format!("missing --{}", key))?;
+    preset_by_name(name).ok_or_else(|| format!("unknown machine '{}'", name))
+}
+
+fn app(flags: &HashMap<String, String>) -> Result<Box<dyn MpiApp>, String> {
+    let name = flags.get("app").ok_or("missing --app")?;
+    let nprocs: u32 = flags
+        .get("nprocs")
+        .ok_or("missing --nprocs")?
+        .parse()
+        .map_err(|_| "bad --nprocs")?;
+    pas2p_apps::by_name(name, nprocs).ok_or_else(|| format!("unknown application '{}'", name))
+}
+
+fn write_or_print(flags: &HashMap<String, String>, json: &str) -> Result<(), String> {
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, json).map_err(|e| format!("writing {}: {}", path, e))?;
+            println!("wrote {}", path);
+            Ok(())
+        }
+        None => {
+            println!("{}", json);
+            Ok(())
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err("no command".into());
+    };
+    let flags = parse_flags(rest).ok_or("malformed flags")?;
+    let pas2p = Pas2p::default();
+
+    match cmd.as_str() {
+        "list" => {
+            println!("applications (--app):");
+            for name in [
+                "cg", "bt", "sp", "lu", "ft", "sweep3d", "smg2000", "pop", "moldy", "gromacs",
+                "masterworker",
+            ] {
+                let a = pas2p_apps::by_name(name, 16).unwrap();
+                println!("  {:<12} {}", name, a.workload());
+            }
+            println!("machines (--base/--target): A, B, C, D");
+            Ok(())
+        }
+        "analyze" => {
+            let app = app(&flags)?;
+            let base = machine(&flags, "base")?;
+            let analysis = pas2p.analyze(app.as_ref(), &base, MappingPolicy::Block);
+            eprintln!(
+                "{}: {} events, {} phases ({} relevant), AET(PAS2P) {:.2}s",
+                analysis.app_name,
+                analysis.trace_events,
+                analysis.total_phases(),
+                analysis.relevant_phases(),
+                analysis.aet_instrumented
+            );
+            let json = serde_json::to_string_pretty(&analysis.table)
+                .map_err(|e| e.to_string())?;
+            write_or_print(&flags, &json)
+        }
+        "signature" => {
+            let app = app(&flags)?;
+            let base = machine(&flags, "base")?;
+            let analysis = pas2p.analyze(app.as_ref(), &base, MappingPolicy::Block);
+            let (signature, stats) =
+                pas2p.build_signature(app.as_ref(), &analysis, &base, MappingPolicy::Block);
+            eprintln!(
+                "constructed {} phases, {} checkpoint bytes, SCT {:.2}s",
+                signature.phase_count(),
+                signature.checkpoint_bytes(),
+                stats.sct
+            );
+            let json = serde_json::to_string(&signature).map_err(|e| e.to_string())?;
+            write_or_print(&flags, &json)
+        }
+        "predict" => {
+            let app = app(&flags)?;
+            let target = machine(&flags, "target")?;
+            let path = flags.get("signature").ok_or("missing --signature")?;
+            let data =
+                std::fs::read_to_string(path).map_err(|e| format!("reading {}: {}", path, e))?;
+            let signature: Signature =
+                serde_json::from_str(&data).map_err(|e| e.to_string())?;
+            let prediction = pas2p
+                .predict(app.as_ref(), &signature, &target, MappingPolicy::Block)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "PET {:.3} s on {} (SET {:.3} s, {} phases)",
+                prediction.pet,
+                target.name,
+                prediction.set,
+                prediction.measurements.len()
+            );
+            Ok(())
+        }
+        "validate" => {
+            let app = app(&flags)?;
+            let base = machine(&flags, "base")?;
+            let target = machine(&flags, "target")?;
+            let (_, report) = pas2p
+                .analyze_and_validate(app.as_ref(), &base, &target, MappingPolicy::Block)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "PET {:.3} s | AET {:.3} s | PETE {:.2}% | SET/AET {:.2}%",
+                report.prediction.pet,
+                report.aet,
+                report.pete_percent,
+                report.set_vs_aet_percent
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command '{}'", other)),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {}", e);
+            usage()
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! End-to-end tests of the `pas2p-cli` binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pas2p-cli"))
+}
+
+#[test]
+fn list_shows_catalog() {
+    let out = cli().arg("list").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["cg", "sweep3d", "moldy"] {
+        assert!(stdout.contains(name), "missing {} in:\n{}", name, stdout);
+    }
+    assert!(stdout.contains("A, B, C, D"));
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = cli().output().unwrap();
+    assert!(!out.status.success());
+    let out = cli().args(["analyze", "--app", "cg"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = cli()
+        .args(["analyze", "--app", "nonesuch", "--nprocs", "4", "--base", "A"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown application"));
+}
+
+#[test]
+fn analyze_emits_phase_table_json() {
+    let out = cli()
+        .args(["analyze", "--app", "masterworker", "--nprocs", "4", "--base", "A"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let table: pas2p_phases::PhaseTable = serde_json::from_str(&stdout).unwrap();
+    assert_eq!(table.nprocs, 4);
+}
+
+#[test]
+fn signature_then_predict_roundtrip() {
+    let dir = std::env::temp_dir().join("pas2p-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let sig_path = dir.join("mw.sig.json");
+    let sig_str = sig_path.to_str().unwrap();
+
+    let out = cli()
+        .args([
+            "signature", "--app", "masterworker", "--nprocs", "4", "--base", "A", "--out",
+            sig_str,
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = cli()
+        .args([
+            "predict", "--app", "masterworker", "--nprocs", "4", "--signature", sig_str,
+            "--target", "B",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("PET"), "{}", stdout);
+}
+
+#[test]
+fn validate_reports_pete() {
+    let out = cli()
+        .args([
+            "validate", "--app", "masterworker", "--nprocs", "4", "--base", "A", "--target",
+            "B",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("PETE"), "{}", stdout);
+}
+
+#[test]
+fn isa_mismatch_is_reported() {
+    let dir = std::env::temp_dir().join("pas2p-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let sig_path = dir.join("mw-isa.sig.json");
+    let sig_str = sig_path.to_str().unwrap();
+    let out = cli()
+        .args([
+            "signature", "--app", "masterworker", "--nprocs", "4", "--base", "A", "--out",
+            sig_str,
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = cli()
+        .args([
+            "predict", "--app", "masterworker", "--nprocs", "4", "--signature", sig_str,
+            "--target", "D",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot run on"), "{}", stderr);
+}
