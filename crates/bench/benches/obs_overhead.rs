@@ -1,0 +1,64 @@
+//! Overhead of the observability layer on the simulation hot path.
+//!
+//! The contract (ISSUE: < 5 % on the disabled path) is that every hook in
+//! `mpisim`/`model`/`phases` compiles down to one relaxed atomic load when
+//! collection is off. This bench runs the same ring workload as
+//! `algo_micro`'s `mpisim` group with collection disabled and enabled, plus
+//! raw per-hook costs, so a regression in either path shows up in the perf
+//! trajectory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pas2p_machine::{cluster_a, JitterModel, MappingPolicy};
+use pas2p_mpisim::{run_app, Mpi, SimConfig};
+
+fn ring(cfg: &SimConfig) {
+    run_app(cfg, |ctx| {
+        let size = ctx.size();
+        let next = (ctx.rank() + 1) % size;
+        let prev = (ctx.rank() + size - 1) % size;
+        for _ in 0..1000 / size {
+            ctx.send(next, 1, &[0u8; 64]);
+            ctx.recv(Some(prev), Some(1));
+        }
+    });
+}
+
+fn bench_ring_overhead(c: &mut Criterion) {
+    let mut machine = cluster_a();
+    machine.jitter = JitterModel::none();
+    let mut g = c.benchmark_group("obs_overhead/ring_1k_msgs");
+    g.sample_size(10);
+    for (label, enabled) in [("disabled", false), ("enabled", true)] {
+        let cfg = SimConfig::new(machine.clone(), 4, MappingPolicy::Block);
+        g.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            pas2p_obs::set_enabled(enabled);
+            b.iter(|| ring(cfg));
+            pas2p_obs::set_enabled(false);
+        });
+    }
+    g.finish();
+}
+
+fn bench_hook_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead/primitives");
+    g.bench_function("enabled_check_off", |b| {
+        pas2p_obs::set_enabled(false);
+        b.iter(pas2p_obs::enabled)
+    });
+    g.bench_function("counter_add_on", |b| {
+        pas2p_obs::set_enabled(true);
+        let counter = pas2p_obs::counter("bench.counter");
+        b.iter(|| counter.add(1));
+        pas2p_obs::set_enabled(false);
+    });
+    g.bench_function("histogram_record_on", |b| {
+        pas2p_obs::set_enabled(true);
+        let hist = pas2p_obs::histogram("bench.hist");
+        b.iter(|| hist.record(4096));
+        pas2p_obs::set_enabled(false);
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ring_overhead, bench_hook_primitives);
+criterion_main!(benches);

@@ -2,14 +2,14 @@
 
 use pas2p_machine::{MachineModel, MappingPolicy};
 use pas2p_model::pas2p_order;
+use pas2p_obs::{Level, MetricsSnapshot};
 use pas2p_phases::{extract_phases, PhaseAnalysis, PhaseTable, SimilarityConfig};
 use pas2p_signature::{
-    construct_signature, execute_signature, predict, run_traced, ConstructionStats, ExecError,
-    MpiApp, Prediction, Signature, SignatureConfig, ValidationReport,
+    construct_signature, execute_signature, predict, run_plain, run_traced, ConstructionStats,
+    ExecError, MpiApp, Prediction, Signature, SignatureConfig, ValidationReport,
 };
 use pas2p_trace::InstrumentationModel;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Stage-A output: everything the analysis of one application run on the
 /// base machine produced.
@@ -37,6 +37,10 @@ pub struct Analysis {
     pub analysis: PhaseAnalysis,
     /// The phase table feeding signature construction.
     pub table: PhaseTable,
+    /// Observability snapshot taken at the end of the analysis (absent
+    /// when observability is disabled).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl Analysis {
@@ -74,16 +78,54 @@ impl Pas2p {
         base: &MachineModel,
         policy: MappingPolicy,
     ) -> Analysis {
+        let _span = pas2p_obs::span("pas2p.pipeline", "analyze");
+
+        let mut st = pas2p_obs::stage("run_traced");
         let (trace, report) = run_traced(app, base, policy, self.instrumentation);
-        let tfat_start = Instant::now();
+        st.items(trace.total_events() as u64);
+        st.finish();
+
+        let mut st = pas2p_obs::stage("pas2p_order");
         let logical = pas2p_order(&trace);
+        st.items(trace.total_events() as u64);
+        let order_seconds = st.finish();
+
+        let mut st = pas2p_obs::stage("extract_phases");
         let analysis = extract_phases(&logical, &self.similarity);
-        let tfat_seconds = tfat_start.elapsed().as_secs_f64();
+        st.items(logical.len() as u64);
+        let extract_seconds = st.finish();
+        // TFAT is exactly the model-build + phase-extraction window the
+        // seed measured with a bare Instant; now sourced from the profiler.
+        let tfat_seconds = order_seconds + extract_seconds;
+
+        let mut st = pas2p_obs::stage("table");
         let table = PhaseTable::from_analysis(
             &analysis,
             self.signature.relevance_threshold,
             self.signature.warmup_occurrences,
             self.signature.measure_occurrences,
+        );
+        st.items(table.rows.len() as u64);
+        st.finish();
+
+        let metrics = if pas2p_obs::enabled() {
+            pas2p_obs::gauge("pipeline.tfat_seconds").set(tfat_seconds);
+            pas2p_obs::gauge("pipeline.aet_instrumented").set(report.makespan);
+            Some(pas2p_obs::global().snapshot())
+        } else {
+            None
+        };
+        pas2p_obs::log(
+            Level::Info,
+            "pas2p.pipeline",
+            "analysis complete",
+            &[
+                ("app", app.name()),
+                ("nprocs", app.nprocs().to_string()),
+                ("events", trace.total_events().to_string()),
+                ("phases", analysis.total_phases().to_string()),
+                ("tfat_seconds", format!("{tfat_seconds:.6}")),
+            ],
         );
         Analysis {
             app_name: app.name(),
@@ -96,6 +138,7 @@ impl Pas2p {
             aet_instrumented: report.makespan,
             analysis,
             table,
+            metrics,
         }
     }
 
@@ -108,7 +151,13 @@ impl Pas2p {
         base: &MachineModel,
         policy: MappingPolicy,
     ) -> (Signature, ConstructionStats) {
-        construct_signature(app, &analysis.table, base, policy, self.signature)
+        let _span = pas2p_obs::span("pas2p.pipeline", "construct");
+        let mut st = pas2p_obs::stage("construct");
+        let (signature, stats) =
+            construct_signature(app, &analysis.table, base, policy, self.signature);
+        st.items(signature.phase_count() as u64);
+        st.finish();
+        (signature, stats)
     }
 
     /// Stage B (Fig 1 "Performance prediction"): execute the signature on
@@ -120,7 +169,15 @@ impl Pas2p {
         target: &MachineModel,
         policy: MappingPolicy,
     ) -> Result<Prediction, ExecError> {
-        execute_signature(app, signature, target, policy)
+        let _span = pas2p_obs::span("pas2p.pipeline", "execute");
+        let mut st = pas2p_obs::stage("execute");
+        let mut prediction = execute_signature(app, signature, target, policy)?;
+        st.items(prediction.measurements.len() as u64);
+        st.finish();
+        if pas2p_obs::enabled() {
+            prediction.metrics = Some(pas2p_obs::global().snapshot());
+        }
+        Ok(prediction)
     }
 
     /// The experimental-validation block (Fig 12): predict, then run the
@@ -132,7 +189,24 @@ impl Pas2p {
         target: &MachineModel,
         policy: MappingPolicy,
     ) -> Result<ValidationReport, ExecError> {
-        predict::validate(app, signature, target, policy)
+        let _span = pas2p_obs::span("pas2p.pipeline", "validate");
+        let prediction = self.predict(app, signature, target, policy.clone())?;
+        let mut st = pas2p_obs::stage("predict");
+        let aet = run_plain(app, target, policy).makespan;
+        let report = predict::report_from(prediction, aet);
+        st.items(1);
+        st.finish();
+        pas2p_obs::log(
+            Level::Info,
+            "pas2p.pipeline",
+            "validation complete",
+            &[
+                ("pet", format!("{:.6}", report.prediction.pet)),
+                ("aet", format!("{aet:.6}")),
+                ("pete_percent", format!("{:.3}", report.pete_percent)),
+            ],
+        );
+        Ok(report)
     }
 
     /// Convenience: the whole methodology in one call — analyze on

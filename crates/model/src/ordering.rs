@@ -80,6 +80,8 @@ pub(crate) fn order_with_rule(trace: &Trace, rule: Rule) -> (LogicalTrace, Vec<(
     // trace is malformed (an unmatched receive) and we fall back to local
     // time so analysis can continue.
     let mut stall = 0usize;
+    let mut deferred: u64 = 0;
+    let mut unmatched: u64 = 0;
 
     while let Some((p, i)) = queue.pop_front() {
         let e = &trace.procs[p].events[i];
@@ -123,9 +125,11 @@ pub(crate) fn order_with_rule(trace: &Trace, rule: Rule) -> (LogicalTrace, Vec<(
                         // Send not processed yet: defer.
                         queue.push_back((p, i));
                         stall += 1;
+                        deferred += 1;
                     }
                     None => {
                         // Unmatched receive (malformed trace): local time.
+                        unmatched += 1;
                         let t = proc_next[p];
                         lt[p][i] = Some(t);
                         proc_next[p] = t + 1;
@@ -174,11 +178,22 @@ pub(crate) fn order_with_rule(trace: &Trace, rule: Rule) -> (LogicalTrace, Vec<(
         .map(|v| v.into_iter().map(|o| o.expect("event left unordered")).collect())
         .collect();
 
-    if rule == Rule::Pas2p {
-        permute_recvs(trace, &mut lt);
-    }
+    let permuted = if rule == Rule::Pas2p {
+        permute_recvs(trace, &mut lt)
+    } else {
+        0
+    };
     clamp_program_order(&mut lt);
-    (split_ticks(trace, &lt), log)
+    let (logical, splits) = split_ticks(trace, &lt);
+    if pas2p_obs::enabled() {
+        pas2p_obs::counter("model.events_ordered").add(log.len() as u64);
+        pas2p_obs::counter("model.deferred_recvs").add(deferred);
+        pas2p_obs::counter("model.unmatched_recvs").add(unmatched);
+        pas2p_obs::counter("model.recv_permutations").add(permuted);
+        pas2p_obs::counter("model.tick_splits").add(splits);
+        pas2p_obs::counter("model.ticks").add(logical.len() as u64);
+    }
+    (logical, log)
 }
 
 fn push_next(queue: &mut VecDeque<(usize, usize)>, trace: &Trace, p: usize, i: usize) {
@@ -200,8 +215,10 @@ fn send_lt_of(trace: &Trace, lt: &[Vec<Option<u64>>], recv: &TraceEvent) -> Opti
 
 /// Reassign each process's receive LTs in ascending program order
 /// (Fig 4 → Fig 5: "a permutation only inside the LTRecvs … so that the
-/// reception events are in ascending order").
-fn permute_recvs(trace: &Trace, lt: &mut [Vec<u64>]) {
+/// reception events are in ascending order"). Returns how many receive
+/// LTs actually moved.
+fn permute_recvs(trace: &Trace, lt: &mut [Vec<u64>]) -> u64 {
+    let mut moved = 0u64;
     for (p, pt) in trace.procs.iter().enumerate() {
         let recv_idx: Vec<usize> = pt
             .events
@@ -213,9 +230,13 @@ fn permute_recvs(trace: &Trace, lt: &mut [Vec<u64>]) {
         let mut lts: Vec<u64> = recv_idx.iter().map(|&i| lt[p][i]).collect();
         lts.sort_unstable();
         for (&i, &t) in recv_idx.iter().zip(&lts) {
+            if lt[p][i] != t {
+                moved += 1;
+            }
             lt[p][i] = t;
         }
     }
+    moved
 }
 
 /// Program order must survive on the tick axis: clamp each event's LT to
@@ -232,8 +253,10 @@ fn clamp_program_order(lt: &mut [Vec<u64>]) {
 
 /// "There can only be one event for each process at a particular LT":
 /// events sharing (process, LT) are fanned out to sub-ticks in program
-/// order, then the (LT, sub) pairs are densely renumbered.
-fn split_ticks(trace: &Trace, lt: &[Vec<u64>]) -> LogicalTrace {
+/// order, then the (LT, sub) pairs are densely renumbered. Also returns
+/// how many events needed a sub-tick.
+fn split_ticks(trace: &Trace, lt: &[Vec<u64>]) -> (LogicalTrace, u64) {
+    let mut splits = 0u64;
     let mut keyed = Vec::with_capacity(trace.total_events());
     for (p, pt) in trace.procs.iter().enumerate() {
         let mut prev_lt = u64::MAX;
@@ -241,6 +264,9 @@ fn split_ticks(trace: &Trace, lt: &[Vec<u64>]) -> LogicalTrace {
         for (i, e) in pt.events.iter().enumerate() {
             let t = lt[p][i];
             sub = if t == prev_lt { sub + 1 } else { 0 };
+            if sub > 0 {
+                splits += 1;
+            }
             prev_lt = t;
             keyed.push((
                 t,
@@ -262,7 +288,7 @@ fn split_ticks(trace: &Trace, lt: &[Vec<u64>]) -> LogicalTrace {
             ));
         }
     }
-    assemble(trace.nprocs, keyed)
+    (assemble(trace.nprocs, keyed), splits)
 }
 
 #[cfg(test)]

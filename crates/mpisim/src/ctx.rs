@@ -13,7 +13,7 @@ use pas2p_machine::Work;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// How long a blocked operation sleeps between abort-flag polls.
@@ -197,6 +197,12 @@ impl Mpi for RankCtx {
             );
         }
         self.counters.sends += 1;
+        if pas2p_obs::enabled() {
+            static MSG_BYTES: OnceLock<Arc<pas2p_obs::Histogram>> = OnceLock::new();
+            MSG_BYTES
+                .get_or_init(|| pas2p_obs::histogram("mpisim.msg_bytes"))
+                .record(data.len() as u64);
+        }
         self.after_comm_event();
         msg_id
     }
@@ -232,6 +238,14 @@ impl Mpi for RankCtx {
         debug_assert_eq!(env.dest, self.rank, "misrouted message");
         self.clock = arrive;
         self.counters.recvs += 1;
+        if pas2p_obs::enabled() {
+            // Depth of the unexpected-message queue at match time — the
+            // asynchrony signal Afzal et al. analyze.
+            static QUEUE_DEPTH: OnceLock<Arc<pas2p_obs::Histogram>> = OnceLock::new();
+            QUEUE_DEPTH
+                .get_or_init(|| pas2p_obs::histogram("mpisim.unexpected_queue_depth"))
+                .record(self.pending.len() as u64);
+        }
         let msg = Message {
             src: env.src,
             dest: env.dest,

@@ -75,8 +75,7 @@ impl PendingQueue {
         self.items.push(env);
     }
 
-    /// Number of unmatched arrivals (used in tests and diagnostics).
-    #[allow(dead_code)]
+    /// Number of unmatched arrivals (queue-depth metric and diagnostics).
     pub fn len(&self) -> usize {
         self.items.len()
     }

@@ -77,4 +77,30 @@ mod tests {
         let r = report(vec![5.0, 5.0]);
         assert_eq!(r.imbalance(), 0.0);
     }
+
+    #[test]
+    fn empty_report_yields_zeros() {
+        // No rank clocks at all: both statistics must degrade to 0 rather
+        // than divide by zero or return NaN/-inf from the folds.
+        let r = report(vec![]);
+        assert_eq!(r.mean_clock(), 0.0);
+        assert_eq!(r.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn single_rank_is_perfectly_balanced() {
+        let r = report(vec![3.5]);
+        assert!((r.mean_clock() - 3.5).abs() < 1e-12);
+        assert_eq!(r.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn all_zero_clocks_yield_zero_imbalance() {
+        // max == 0 would make (max - min) / max a 0/0; the guard must
+        // report 0, not NaN.
+        let r = report(vec![0.0, 0.0, 0.0]);
+        assert_eq!(r.mean_clock(), 0.0);
+        assert_eq!(r.imbalance(), 0.0);
+        assert!(!r.imbalance().is_nan());
+    }
 }

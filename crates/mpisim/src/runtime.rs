@@ -150,6 +150,13 @@ where
 
     let rank_clocks = clocks.into_inner();
     let makespan = rank_clocks.iter().cloned().fold(0.0f64, f64::max);
+    if pas2p_obs::enabled() {
+        pas2p_obs::counter("mpisim.runs").inc();
+        pas2p_obs::counter("mpisim.rank_threads").add(n as u64);
+        pas2p_obs::counter("mpisim.messages").add(shared.total_msgs.load(Ordering::Relaxed));
+        pas2p_obs::counter("mpisim.bytes").add(shared.total_bytes.load(Ordering::Relaxed));
+        pas2p_obs::counter("mpisim.collectives").add(shared.total_colls.load(Ordering::Relaxed));
+    }
     RunReport {
         nprocs: n,
         rank_clocks,

@@ -1,0 +1,285 @@
+//! Leveled structured logger with scoped spans.
+//!
+//! One global [`Logger`] per process. Human-readable lines go to stderr
+//! (`[LEVEL target] msg key=value ...`); when a file sink is attached
+//! each record is additionally appended as one JSON object per line.
+//!
+//! Configuration:
+//! * `PAS2P_LOG` — `off|error|warn|info|debug|trace` (default `warn`)
+//! * `PAS2P_LOG_FILE` — path for the JSON-lines sink
+//! * programmatic: [`Logger::set_level`] / [`Logger::set_file`]
+//!   (the CLI's `--log-level` / `--log-file` flags call these)
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Log verbosity, ordered: a record is emitted when its level is at or
+/// below the logger's configured level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    Off = 0,
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+    Trace = 5,
+}
+
+impl Level {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Some(Level::Off),
+            "error" | "err" | "1" => Some(Level::Error),
+            "warn" | "warning" | "2" => Some(Level::Warn),
+            "info" | "3" => Some(Level::Info),
+            "debug" | "4" => Some(Level::Debug),
+            "trace" | "5" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Off,
+            1 => Level::Error,
+            2 => Level::Warn,
+            3 => Level::Info,
+            4 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Process-wide logger. Obtain it with [`logger()`].
+pub struct Logger {
+    level: AtomicU8,
+    sink: Mutex<Option<BufWriter<File>>>,
+}
+
+impl Logger {
+    fn from_env() -> Logger {
+        let level = std::env::var("PAS2P_LOG")
+            .ok()
+            .and_then(|s| Level::parse(&s))
+            .unwrap_or(Level::Warn);
+        let logger = Logger {
+            level: AtomicU8::new(level as u8),
+            sink: Mutex::new(None),
+        };
+        if let Ok(path) = std::env::var("PAS2P_LOG_FILE") {
+            // Env-driven init has nowhere to report errors; ignore failure.
+            let _ = logger.set_file(&path);
+        }
+        logger
+    }
+
+    pub fn level(&self) -> Level {
+        Level::from_u8(self.level.load(Ordering::Relaxed))
+    }
+
+    pub fn set_level(&self, level: Level) {
+        self.level.store(level as u8, Ordering::Relaxed);
+    }
+
+    /// Attach (or replace) the JSON-lines file sink.
+    pub fn set_file(&self, path: &str) -> std::io::Result<()> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        *self.sink.lock().unwrap() = Some(BufWriter::new(file));
+        Ok(())
+    }
+
+    pub fn enabled(&self, level: Level) -> bool {
+        level != Level::Off && level as u8 <= self.level.load(Ordering::Relaxed)
+    }
+
+    /// Emit one record. `fields` are structured key/value pairs rendered
+    /// as `key=value` on stderr and as a JSON object in the file sink.
+    pub fn log(&self, level: Level, target: &str, msg: &str, fields: &[(&str, String)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        let mut line = format!("[{:5} {}] {}", level.as_str(), target, msg);
+        for (k, v) in fields {
+            line.push(' ');
+            line.push_str(k);
+            line.push('=');
+            line.push_str(v);
+        }
+        eprintln!("{line}");
+
+        let mut sink = self.sink.lock().unwrap();
+        if let Some(w) = sink.as_mut() {
+            let ts_us = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_micros() as u64)
+                .unwrap_or(0);
+            let mut json = String::with_capacity(96);
+            json.push_str("{\"ts_us\":");
+            json.push_str(&ts_us.to_string());
+            json.push_str(",\"level\":\"");
+            json.push_str(level.as_str());
+            json.push_str("\",\"target\":\"");
+            escape_json_into(&mut json, target);
+            json.push_str("\",\"msg\":\"");
+            escape_json_into(&mut json, msg);
+            json.push('"');
+            for (k, v) in fields {
+                json.push_str(",\"");
+                escape_json_into(&mut json, k);
+                json.push_str("\":\"");
+                escape_json_into(&mut json, v);
+                json.push('"');
+            }
+            json.push('}');
+            let _ = writeln!(w, "{json}");
+            let _ = w.flush();
+        }
+    }
+}
+
+fn escape_json_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+static LOGGER: OnceLock<Logger> = OnceLock::new();
+
+/// The process-wide logger (initialized from `PAS2P_LOG`/`PAS2P_LOG_FILE`
+/// on first use).
+pub fn logger() -> &'static Logger {
+    LOGGER.get_or_init(Logger::from_env)
+}
+
+/// Convenience: emit a record through the global logger.
+pub fn log(level: Level, target: &str, msg: &str, fields: &[(&str, String)]) {
+    logger().log(level, target, msg, fields);
+}
+
+/// Convenience: would a record at `level` currently be emitted?
+pub fn log_enabled(level: Level) -> bool {
+    logger().enabled(level)
+}
+
+/// Scoped span: logs `enter <name>` at Debug on creation and
+/// `exit <name> elapsed_us=...` on drop. Inert (no timestamps taken,
+/// nothing logged) when Debug is not enabled at creation time.
+pub struct Span {
+    target: &'static str,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    pub fn new(target: &'static str, name: &'static str) -> Span {
+        let active = logger().enabled(Level::Debug);
+        if active {
+            logger().log(
+                Level::Debug,
+                target,
+                "enter",
+                &[("span", name.to_string())],
+            );
+        }
+        Span {
+            target,
+            name,
+            start: if active { Some(Instant::now()) } else { None },
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let us = start.elapsed().as_micros() as u64;
+            logger().log(
+                Level::Debug,
+                self.target,
+                "exit",
+                &[
+                    ("span", self.name.to_string()),
+                    ("elapsed_us", us.to_string()),
+                ],
+            );
+        }
+    }
+}
+
+/// Open a scoped span on the global logger.
+pub fn span(target: &'static str, name: &'static str) -> Span {
+    Span::new(target, name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parse_roundtrip() {
+        for l in [
+            Level::Off,
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+            Level::Trace,
+        ] {
+            assert_eq!(Level::parse(l.as_str()), Some(l));
+        }
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("bogus"), None);
+    }
+
+    #[test]
+    fn level_ordering_gates_records() {
+        let logger = Logger {
+            level: AtomicU8::new(Level::Info as u8),
+            sink: Mutex::new(None),
+        };
+        assert!(logger.enabled(Level::Error));
+        assert!(logger.enabled(Level::Info));
+        assert!(!logger.enabled(Level::Debug));
+        logger.set_level(Level::Off);
+        assert!(!logger.enabled(Level::Error));
+    }
+
+    #[test]
+    fn json_escaping() {
+        let mut out = String::new();
+        escape_json_into(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

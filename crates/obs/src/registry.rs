@@ -1,0 +1,356 @@
+//! Global metrics registry, stage profiler, and serializable snapshot.
+//!
+//! Metric collection is **disabled by default** (enable with
+//! [`set_enabled`] or `PAS2P_OBS=1`). Hot call sites gate on
+//! [`enabled()`] — one relaxed atomic load — and cache their
+//! `Arc<Counter>`/`Arc<Histogram>` handles in `OnceLock` statics, so the
+//! registry's `Mutex<BTreeMap>` is only touched on first registration
+//! and at snapshot time. [`Registry::reset`] therefore zeroes metrics
+//! *in place* rather than clearing the maps: cached handles must keep
+//! pointing at live, registered instruments.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSummary};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Process-wide instrument registry. Obtain it with [`global()`].
+pub struct Registry {
+    enabled: AtomicBool,
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+    stages: Mutex<Vec<StageProfile>>,
+}
+
+impl Registry {
+    pub fn new(enabled: bool) -> Registry {
+        Registry {
+            enabled: AtomicBool::new(enabled),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            stages: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn from_env() -> Registry {
+        let enabled = std::env::var("PAS2P_OBS")
+            .map(|v| matches!(v.trim(), "1" | "true" | "on" | "yes"))
+            .unwrap_or(false);
+        Registry::new(enabled)
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Look up or create the named counter. Names should be
+    /// `crate.metric` (e.g. `mpisim.messages`); they key the snapshot.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .unwrap()
+                .entry(name)
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        Arc::clone(
+            self.gauges
+                .lock()
+                .unwrap()
+                .entry(name)
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .unwrap()
+                .entry(name)
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Start timing a pipeline stage. The guard's `finish()` always
+    /// returns the elapsed seconds (callers like `tfat_seconds` depend
+    /// on it even with observability off); the profile is recorded into
+    /// the registry only when enabled.
+    pub fn stage(&'static self, name: &'static str) -> StageGuard {
+        StageGuard {
+            registry: self,
+            name,
+            start: Instant::now(),
+            items: 0,
+        }
+    }
+
+    fn record_stage(&self, profile: StageProfile) {
+        self.stages.lock().unwrap().push(profile);
+    }
+
+    /// Point-in-time copy of every registered instrument, in
+    /// deterministic (name-sorted) order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            enabled: self.enabled(),
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.summary()))
+                .collect(),
+            stages: self.stages.lock().unwrap().clone(),
+        }
+    }
+
+    /// Zero every instrument in place and clear recorded stages. Cached
+    /// `Arc` handles held by hot call sites stay valid and registered.
+    pub fn reset(&self) {
+        for c in self.counters.lock().unwrap().values() {
+            c.reset();
+        }
+        for g in self.gauges.lock().unwrap().values() {
+            g.reset();
+        }
+        for h in self.histograms.lock().unwrap().values() {
+            h.reset();
+        }
+        self.stages.lock().unwrap().clear();
+    }
+}
+
+/// Wall-clock profile of one pipeline stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageProfile {
+    pub name: String,
+    pub wall_seconds: f64,
+    pub items: u64,
+    pub items_per_sec: f64,
+}
+
+/// Guard returned by [`stage()`]; see [`Registry::stage`].
+pub struct StageGuard {
+    registry: &'static Registry,
+    name: &'static str,
+    start: Instant,
+    items: u64,
+}
+
+impl StageGuard {
+    /// Attach an item count (events processed, phases grown, ...) so the
+    /// profile reports throughput alongside wall-clock.
+    pub fn items(&mut self, n: u64) {
+        self.items = n;
+    }
+
+    /// Stop the clock; returns elapsed seconds unconditionally and
+    /// records a [`StageProfile`] when observability is enabled.
+    pub fn finish(self) -> f64 {
+        let wall = self.start.elapsed().as_secs_f64();
+        if self.registry.enabled() {
+            let items_per_sec = if wall > 0.0 {
+                self.items as f64 / wall
+            } else {
+                0.0
+            };
+            self.registry.record_stage(StageProfile {
+                name: self.name.to_string(),
+                wall_seconds: wall,
+                items: self.items,
+                items_per_sec,
+            });
+        }
+        wall
+    }
+}
+
+/// Serializable point-in-time view of the registry, embedded into
+/// `Analysis`/`Prediction` JSON and written by `pas2p-cli --metrics`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub enabled: bool,
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    pub stages: Vec<StageProfile>,
+}
+
+impl MetricsSnapshot {
+    /// Human-readable rendering for the `pas2p-cli metrics` subcommand.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "metrics snapshot (collection {})\n",
+            if self.enabled { "enabled" } else { "disabled" }
+        ));
+        if !self.stages.is_empty() {
+            out.push_str("\nstages:\n");
+            for s in &self.stages {
+                out.push_str(&format!(
+                    "  {:<24} {:>12.6}s  items={:<12} {:>14.1}/s\n",
+                    s.name, s.wall_seconds, s.items, s.items_per_sec
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\ncounters:\n");
+            for (k, v) in &self.counters {
+                out.push_str(&format!("  {k:<40} {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\ngauges:\n");
+            for (k, v) in &self.gauges {
+                out.push_str(&format!("  {k:<40} {v}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\nhistograms:\n");
+            for (k, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {:<40} count={} min={} max={} mean={:.1} p50={} p95={} p99={}\n",
+                    k, h.count, h.min, h.max, h.mean, h.p50, h.p95, h.p99
+                ));
+            }
+        }
+        out
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry (initialized from `PAS2P_OBS` on first use).
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::from_env)
+}
+
+/// Is metric collection enabled? This is the hot-path gate: one
+/// `OnceLock` read plus one relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    global().enabled()
+}
+
+pub fn set_enabled(on: bool) {
+    global().set_enabled(on);
+}
+
+pub fn counter(name: &'static str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+pub fn gauge(name: &'static str) -> Arc<Gauge> {
+    global().gauge(name)
+}
+
+pub fn histogram(name: &'static str) -> Arc<Histogram> {
+    global().histogram(name)
+}
+
+pub fn stage(name: &'static str) -> StageGuard {
+    global().stage(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_snapshot_and_reset() {
+        let reg = Box::leak(Box::new(Registry::new(true)));
+        let c = reg.counter("t.count");
+        c.add(7);
+        reg.gauge("t.gauge").set(1.5);
+        reg.histogram("t.hist").record(8);
+        let mut g = reg.stage("t_stage");
+        g.items(7);
+        let wall = g.finish();
+        assert!(wall >= 0.0);
+
+        let snap = reg.snapshot();
+        assert!(snap.enabled);
+        assert_eq!(snap.counters["t.count"], 7);
+        assert_eq!(snap.gauges["t.gauge"], 1.5);
+        assert_eq!(snap.histograms["t.hist"].count, 1);
+        assert_eq!(snap.stages.len(), 1);
+        assert_eq!(snap.stages[0].name, "t_stage");
+        assert_eq!(snap.stages[0].items, 7);
+
+        reg.reset();
+        // Handle obtained before the reset still points at the live,
+        // registered counter.
+        c.inc();
+        let snap2 = reg.snapshot();
+        assert_eq!(snap2.counters["t.count"], 1);
+        assert_eq!(snap2.histograms["t.hist"].count, 0);
+        assert!(snap2.stages.is_empty());
+    }
+
+    #[test]
+    fn same_name_returns_same_instrument() {
+        let reg = Registry::new(false);
+        let a = reg.counter("dup");
+        let b = reg.counter("dup");
+        a.add(2);
+        assert_eq!(b.get(), 2);
+    }
+
+    #[test]
+    fn disabled_stage_still_times_but_records_nothing() {
+        let reg = Box::leak(Box::new(Registry::new(false)));
+        let wall = reg.stage("quiet").finish();
+        assert!(wall >= 0.0);
+        assert!(reg.snapshot().stages.is_empty());
+    }
+
+    #[test]
+    fn snapshot_render_mentions_instruments() {
+        let reg = Registry::new(true);
+        reg.counter("render.count").add(3);
+        reg.histogram("render.hist").record(10);
+        let text = reg.snapshot().render();
+        assert!(text.contains("render.count"));
+        assert!(text.contains("render.hist"));
+        assert!(text.contains("enabled"));
+    }
+
+    #[test]
+    fn snapshot_serde_roundtrip() {
+        let reg = Registry::new(true);
+        reg.counter("s.count").add(9);
+        reg.gauge("s.gauge").set(0.25);
+        reg.histogram("s.hist").record(100);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -160,6 +160,8 @@ pub fn extract_phases(lt: &LogicalTrace, cfg: &SimilarityConfig) -> PhaseAnalysi
         boundary,
         running_counts: vec![0u64; n],
         phases: Vec::new(),
+        comparisons: 0,
+        dedupe_hits: 0,
     };
 
     // The scan: grow a window from `start`, cutting when a communication
@@ -202,12 +204,22 @@ pub fn extract_phases(lt: &LogicalTrace, cfg: &SimilarityConfig) -> PhaseAnalysi
     }
 
     let aet = *state.boundary.last().unwrap();
-    PhaseAnalysis {
+    let analysis = PhaseAnalysis {
         nprocs: lt.nprocs,
         phases: state.phases,
         aet,
         analysis_seconds: started.elapsed().as_secs_f64(),
+    };
+    if pas2p_obs::enabled() {
+        pas2p_obs::counter("phases.ticks_scanned").add(ticks.len() as u64);
+        pas2p_obs::counter("phases.unique").add(analysis.total_phases() as u64);
+        pas2p_obs::counter("phases.occurrences")
+            .add(analysis.phases.iter().map(|p| p.weight).sum());
+        pas2p_obs::counter("phases.similarity_comparisons").add(state.comparisons);
+        pas2p_obs::counter("phases.dedupe_hits").add(state.dedupe_hits);
+        pas2p_obs::gauge("phases.analysis_seconds").set(analysis.analysis_seconds);
     }
+    analysis
 }
 
 struct Extractor<'a> {
@@ -219,6 +231,10 @@ struct Extractor<'a> {
     /// contiguous, so this always equals the counts at the next start.
     running_counts: Vec<u64>,
     phases: Vec<Phase>,
+    /// Similarity comparisons performed (step 5 cost driver).
+    comparisons: u64,
+    /// Windows absorbed into an existing phase instead of creating one.
+    dedupe_hits: u64,
 }
 
 impl Extractor<'_> {
@@ -245,7 +261,9 @@ impl Extractor<'_> {
         };
 
         for phase in &mut self.phases {
+            self.comparisons += 1;
             if self.cfg.phases_similar(&phase.pattern, &pattern) {
+                self.dedupe_hits += 1;
                 phase.weight += 1;
                 phase.occurrences.push(occurrence);
                 return;

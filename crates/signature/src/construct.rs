@@ -201,5 +201,11 @@ pub fn construct_signature(
         ckpt_bytes,
         wall_seconds: started.elapsed().as_secs_f64(),
     };
+    if pas2p_obs::enabled() {
+        pas2p_obs::counter("signature.construct_runs").inc();
+        pas2p_obs::counter("signature.checkpoints").add(signature.entries.len() as u64);
+        pas2p_obs::counter("signature.checkpoint_bytes").add(ckpt_bytes);
+        pas2p_obs::gauge("signature.sct_seconds").set(stats.sct);
+    }
     (signature, stats)
 }

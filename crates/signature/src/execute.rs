@@ -263,6 +263,14 @@ pub fn execute_signature(
         });
     }
 
+    if pas2p_obs::enabled() {
+        pas2p_obs::counter("signature.restarts").add(signature.entries.len() as u64);
+        pas2p_obs::counter("signature.phase_measurements").add(measurements.len() as u64);
+        let phase_et = pas2p_obs::histogram("signature.phase_et_us");
+        for m in &measurements {
+            phase_et.record((m.phase_et * 1e6) as u64);
+        }
+    }
     Ok(Prediction::from_measurements(
         signature.app_name.clone(),
         signature.base_machine.clone(),

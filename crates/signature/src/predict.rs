@@ -49,6 +49,10 @@ pub struct Prediction {
     pub set: f64,
     /// Host wall-clock seconds the signature execution took.
     pub wall_seconds: f64,
+    /// Observability snapshot taken when the prediction was produced
+    /// (attached by the pipeline layer; absent when observability is off).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub metrics: Option<pas2p_obs::MetricsSnapshot>,
 }
 
 impl Prediction {
@@ -66,6 +70,10 @@ impl Prediction {
             .iter()
             .map(|m| m.restart_cost + m.measured_span)
             .sum();
+        if pas2p_obs::enabled() {
+            pas2p_obs::gauge("predict.pet_seconds").set(pet);
+            pas2p_obs::gauge("predict.set_seconds").set(set);
+        }
         Prediction {
             app,
             base_machine,
@@ -75,6 +83,7 @@ impl Prediction {
             pet,
             set,
             wall_seconds,
+            metrics: None,
         }
     }
 }
@@ -128,6 +137,10 @@ pub fn report_from(prediction: Prediction, aet: f64) -> ValidationReport {
     } else {
         0.0
     };
+    if pas2p_obs::enabled() {
+        pas2p_obs::gauge("predict.aet_seconds").set(aet);
+        pas2p_obs::gauge("predict.pete_percent").set(pete_percent);
+    }
     ValidationReport {
         prediction,
         aet,

@@ -79,11 +79,16 @@ impl TraceCollector {
             .enumerate()
             .map(|(rank, s)| s.unwrap_or_else(|| panic!("rank {} never finished tracing", rank)))
             .collect();
-        Trace {
+        let trace = Trace {
             nprocs: self.nprocs,
             machine: self.machine,
             procs,
+        };
+        if pas2p_obs::enabled() {
+            pas2p_obs::counter("trace.events").add(trace.total_events() as u64);
+            pas2p_obs::counter("trace.bytes").add(trace.size_bytes());
         }
+        trace
     }
 }
 

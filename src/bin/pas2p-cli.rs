@@ -6,34 +6,93 @@
 //! pas2p-cli signature --app cg --nprocs 16 --base A [--out signature.json]
 //! pas2p-cli predict   --app cg --nprocs 16 --signature signature.json --target B
 //! pas2p-cli validate  --app cg --nprocs 16 --base A --target B
+//! pas2p-cli metrics   --analysis analysis.json
 //! ```
 //!
 //! Applications come from the built-in catalog (`pas2p_apps::by_name`);
 //! machines are the paper's clusters A–D. Analyses and signatures are
 //! exchanged as JSON.
+//!
+//! Observability flags (valid on every command):
+//!
+//! * `--log-level LEVEL` — off|error|warn|info|debug|trace (or `PAS2P_LOG`)
+//! * `--log-file FILE`   — append JSON-lines log records to FILE
+//! * `--metrics FILE`    — enable metric collection and write the final
+//!   `MetricsSnapshot` JSON to FILE (or set `PAS2P_OBS=1`)
 
 use pas2p::prelude::*;
 use pas2p::Pas2p;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage:
+  pas2p-cli list
+  pas2p-cli analyze   --app NAME --nprocs N --base M [--out FILE]
+  pas2p-cli signature --app NAME --nprocs N --base M [--out FILE]
+  pas2p-cli predict   --app NAME --nprocs N --signature FILE --target M
+  pas2p-cli validate  --app NAME --nprocs N --base M --target M
+  pas2p-cli metrics   --analysis FILE
+machines: A, B, C, D (the paper's clusters)
+observability (any command):
+  --log-level LEVEL   off|error|warn|info|debug|trace (default warn; env PAS2P_LOG)
+  --log-file FILE     append JSON-lines log records to FILE (env PAS2P_LOG_FILE)
+  --metrics FILE      collect metrics and write the snapshot JSON to FILE (env PAS2P_OBS=1)
+  --help, --version   print this help / the version and exit";
+
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage:\n  pas2p-cli list\n  pas2p-cli analyze   --app NAME --nprocs N --base M [--out FILE]\n  pas2p-cli signature --app NAME --nprocs N --base M [--out FILE]\n  pas2p-cli predict   --app NAME --nprocs N --signature FILE --target M\n  pas2p-cli validate  --app NAME --nprocs N --base M --target M\nmachines: A, B, C, D (the paper's clusters)"
-    );
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
-fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
+/// Parse `--flag value` pairs, reporting exactly which flag is malformed.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
-        let key = args[i].strip_prefix("--")?;
-        let value = args.get(i + 1)?;
-        flags.insert(key.to_string(), value.clone());
+        let arg = &args[i];
+        let key = arg
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got '{arg}'"))?;
+        if key.is_empty() {
+            return Err("bare '--' is not a flag".into());
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag '--{key}' is missing its value"))?;
+        if flags.insert(key.to_string(), value.clone()).is_some() {
+            return Err(format!("flag '--{key}' given twice"));
+        }
         i += 2;
     }
-    Some(flags)
+    Ok(flags)
+}
+
+/// Apply `--log-level`/`--log-file`/`--metrics`; returns the metrics
+/// output path when metric collection was requested.
+fn apply_obs_flags(flags: &HashMap<String, String>) -> Result<Option<String>, String> {
+    if let Some(level) = flags.get("log-level") {
+        let level = pas2p_obs::Level::parse(level)
+            .ok_or_else(|| format!("bad --log-level '{level}' (off|error|warn|info|debug|trace)"))?;
+        pas2p_obs::logger().set_level(level);
+    }
+    if let Some(path) = flags.get("log-file") {
+        pas2p_obs::logger()
+            .set_file(path)
+            .map_err(|e| format!("opening log file {path}: {e}"))?;
+    }
+    let metrics = flags.get("metrics").cloned();
+    if metrics.is_some() {
+        pas2p_obs::set_enabled(true);
+    }
+    Ok(metrics)
+}
+
+fn write_metrics(path: &str) -> Result<(), String> {
+    let snapshot = pas2p_obs::global().snapshot();
+    let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("wrote metrics snapshot to {path}");
+    Ok(())
 }
 
 fn machine(flags: &HashMap<String, String>, key: &str) -> Result<MachineModel, String> {
@@ -49,7 +108,7 @@ fn app(flags: &HashMap<String, String>) -> Result<Box<dyn MpiApp>, String> {
         .get("nprocs")
         .ok_or("missing --nprocs")?
         .parse()
-        .map_err(|_| "bad --nprocs")?;
+        .map_err(|_| format!("bad --nprocs '{}'", flags["nprocs"]))?;
     pas2p_apps::by_name(name, nprocs).ok_or_else(|| format!("unknown application '{}'", name))
 }
 
@@ -67,15 +126,15 @@ fn write_or_print(flags: &HashMap<String, String>, json: &str) -> Result<(), Str
     }
 }
 
-fn run() -> Result<(), String> {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+fn run(argv: &[String]) -> Result<(), String> {
     let Some((cmd, rest)) = argv.split_first() else {
         return Err("no command".into());
     };
-    let flags = parse_flags(rest).ok_or("malformed flags")?;
+    let flags = parse_flags(rest)?;
+    let metrics_out = apply_obs_flags(&flags)?;
     let pas2p = Pas2p::default();
 
-    match cmd.as_str() {
+    let result = match cmd.as_str() {
         "list" => {
             println!("applications (--app):");
             for name in [
@@ -100,8 +159,7 @@ fn run() -> Result<(), String> {
                 analysis.relevant_phases(),
                 analysis.aet_instrumented
             );
-            let json = serde_json::to_string_pretty(&analysis.table)
-                .map_err(|e| e.to_string())?;
+            let json = serde_json::to_string_pretty(&analysis).map_err(|e| e.to_string())?;
             write_or_print(&flags, &json)
         }
         "signature" => {
@@ -155,12 +213,43 @@ fn run() -> Result<(), String> {
             );
             Ok(())
         }
+        "metrics" => {
+            let path = flags.get("analysis").ok_or("missing --analysis")?;
+            let data =
+                std::fs::read_to_string(path).map_err(|e| format!("reading {}: {}", path, e))?;
+            let analysis: pas2p::Analysis =
+                serde_json::from_str(&data).map_err(|e| e.to_string())?;
+            let snapshot = analysis.metrics.ok_or_else(|| {
+                format!(
+                    "{path} carries no metrics snapshot — rerun analyze with --metrics FILE \
+                     or PAS2P_OBS=1"
+                )
+            })?;
+            print!("{}", snapshot.render());
+            Ok(())
+        }
         other => Err(format!("unknown command '{}'", other)),
+    };
+
+    if result.is_ok() {
+        if let Some(path) = metrics_out {
+            write_metrics(&path)?;
+        }
     }
+    result
 }
 
 fn main() -> ExitCode {
-    match run() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if argv.iter().any(|a| a == "--version" || a == "-V") {
+        println!("pas2p-cli {}", env!("CARGO_PKG_VERSION"));
+        return ExitCode::SUCCESS;
+    }
+    match run(&argv) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {}", e);

@@ -7,6 +7,7 @@
 
 pub use pas2p;
 pub use pas2p_apps as apps;
+pub use pas2p_obs as obs;
 pub use pas2p_machine as machine;
 pub use pas2p_model as model;
 pub use pas2p_mpisim as mpisim;

@@ -33,15 +33,115 @@ fn bad_usage_exits_nonzero() {
 }
 
 #[test]
-fn analyze_emits_phase_table_json() {
+fn analyze_emits_analysis_json() {
     let out = cli()
         .args(["analyze", "--app", "masterworker", "--nprocs", "4", "--base", "A"])
         .output()
         .unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
-    let table: pas2p_phases::PhaseTable = serde_json::from_str(&stdout).unwrap();
-    assert_eq!(table.nprocs, 4);
+    let analysis: pas2p::Analysis = serde_json::from_str(&stdout).unwrap();
+    assert_eq!(analysis.nprocs, 4);
+    assert_eq!(analysis.table.nprocs, 4);
+    // Observability was not requested: no snapshot in the JSON.
+    assert!(analysis.metrics.is_none());
+}
+
+#[test]
+fn help_and_version_exit_zero() {
+    let out = cli().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+    let out = cli().args(["analyze", "--help"]).output().unwrap();
+    assert!(out.status.success());
+    let out = cli().arg("--version").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("pas2p-cli"));
+}
+
+#[test]
+fn malformed_flags_name_the_culprit() {
+    let out = cli().args(["analyze", "--app"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("'--app' is missing its value"),
+        "{}",
+        stderr
+    );
+
+    let out = cli()
+        .args(["analyze", "app", "cg"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("expected a --flag, got 'app'"), "{}", stderr);
+
+    let out = cli()
+        .args(["analyze", "--app", "cg", "--app", "lu"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("'--app' given twice"), "{}", stderr);
+}
+
+#[test]
+fn metrics_flag_writes_snapshot_and_subcommand_renders_it() {
+    let dir = std::env::temp_dir().join("pas2p-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let analysis_path = dir.join("mw.analysis.json");
+    let metrics_path = dir.join("mw.metrics.json");
+
+    let out = cli()
+        .args([
+            "analyze",
+            "--app",
+            "masterworker",
+            "--nprocs",
+            "4",
+            "--base",
+            "A",
+            "--out",
+            analysis_path.to_str().unwrap(),
+            "--metrics",
+            metrics_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // The standalone snapshot file has stage profiles and counters from
+    // several crates.
+    let snap: pas2p_obs::MetricsSnapshot =
+        serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+    assert!(snap.enabled);
+    let stage_names: Vec<&str> = snap.stages.iter().map(|s| s.name.as_str()).collect();
+    for required in ["run_traced", "pas2p_order", "extract_phases", "table"] {
+        assert!(stage_names.contains(&required), "missing stage {required}");
+    }
+    assert!(snap.counters["mpisim.messages"] > 0);
+    assert!(snap.counters["trace.events"] > 0);
+    assert!(snap.counters["model.events_ordered"] > 0);
+    assert!(snap.counters["phases.unique"] > 0);
+    let distinct = snap.counters.len() + snap.histograms.len();
+    assert!(distinct >= 10, "only {distinct} instruments in snapshot");
+
+    // The analysis JSON embeds the same snapshot, and the `metrics`
+    // subcommand renders it.
+    let analysis: pas2p::Analysis =
+        serde_json::from_str(&std::fs::read_to_string(&analysis_path).unwrap()).unwrap();
+    assert!(analysis.metrics.is_some());
+
+    let out = cli()
+        .args(["metrics", "--analysis", analysis_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stages:"), "{}", stdout);
+    assert!(stdout.contains("mpisim.messages"), "{}", stdout);
 }
 
 #[test]
