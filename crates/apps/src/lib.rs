@@ -10,6 +10,8 @@
 //! implement [`MpiApp`]/[`RankProgram`](pas2p_signature::RankProgram) and
 //! are therefore traceable, checkpointable and signature-ready.
 
+#![forbid(unsafe_code)]
+
 pub mod gromacs;
 pub mod master_worker;
 pub mod moldy;

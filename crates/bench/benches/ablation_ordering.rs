@@ -43,6 +43,7 @@ fn ev(
         involved: 1,
         msg_id,
         comm_id: 0,
+        wildcard: false,
     }
 }
 

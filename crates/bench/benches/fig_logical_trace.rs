@@ -25,6 +25,7 @@ fn ev(
         involved: 1,
         msg_id,
         comm_id: 0,
+        wildcard: false,
     }
 }
 

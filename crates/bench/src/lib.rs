@@ -5,6 +5,8 @@
 //! table rows, and (c) the paper's reference values for shape comparison.
 //! Set `PAS2P_BENCH_SHRINK=1` to run at the paper's process counts.
 
+#![forbid(unsafe_code)]
+
 use pas2p_machine::MachineModel;
 
 /// Process-count shrink factor: paper sizes are divided by this. Default

@@ -1,0 +1,205 @@
+//! Diagnostics: the stable vocabulary checker rules speak in.
+
+use serde::{Deserialize, Serialize};
+
+/// How bad a finding is.
+///
+/// Ordered so that `Error > Warning > Info`; reports sort descending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Worth knowing, never affects the exit code.
+    Info,
+    /// Suspicious but possibly legitimate; exit code 1.
+    Warning,
+    /// A violated invariant; the artifact is unsound. Exit code 2.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Where in the artifact a diagnostic points.
+///
+/// All fields are optional: a trace-level finding has a rank and maybe an
+/// event number but no tick; a model finding has a tick; a signature
+/// finding has a phase.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Location {
+    /// Process rank, when the finding is attributable to one.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub rank: Option<u32>,
+    /// Per-process event number in the physical trace.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub event: Option<u64>,
+    /// Tick index in the logical trace.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub tick: Option<usize>,
+    /// Phase id in the analysis / signature.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub phase: Option<u32>,
+}
+
+impl Location {
+    /// An empty location (artifact-wide finding).
+    pub fn none() -> Location {
+        Location::default()
+    }
+
+    /// Locate at a rank.
+    pub fn rank(rank: u32) -> Location {
+        Location {
+            rank: Some(rank),
+            ..Location::default()
+        }
+    }
+
+    /// Locate at a (rank, event number) pair in the physical trace.
+    pub fn event(rank: u32, event: u64) -> Location {
+        Location {
+            rank: Some(rank),
+            event: Some(event),
+            ..Location::default()
+        }
+    }
+
+    /// Locate at a logical tick.
+    pub fn tick(tick: usize) -> Location {
+        Location {
+            tick: Some(tick),
+            ..Location::default()
+        }
+    }
+
+    /// Locate at a phase.
+    pub fn phase(phase: u32) -> Location {
+        Location {
+            phase: Some(phase),
+            ..Location::default()
+        }
+    }
+
+    fn is_none(&self) -> bool {
+        self.rank.is_none() && self.event.is_none() && self.tick.is_none() && self.phase.is_none()
+    }
+}
+
+impl std::fmt::Display for Location {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_none() {
+            return write!(f, "-");
+        }
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(r) = self.rank {
+            parts.push(format!("rank {}", r));
+        }
+        if let Some(e) = self.event {
+            parts.push(format!("event {}", e));
+        }
+        if let Some(t) = self.tick {
+            parts.push(format!("tick {}", t));
+        }
+        if let Some(p) = self.phase {
+            parts.push(format!("phase {}", p));
+        }
+        write!(f, "{}", parts.join(", "))
+    }
+}
+
+/// One finding of one rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable rule code, e.g. `LT-RECV-001`. Codes never change meaning;
+    /// tooling may match on them.
+    pub code: String,
+    /// Severity of this particular finding.
+    pub severity: Severity,
+    /// Where the finding points.
+    #[serde(default)]
+    pub location: Location,
+    /// Human-readable description of what was found.
+    pub message: String,
+    /// What to do about it, when the rule has advice to give.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic with no suggestion.
+    pub fn new(
+        code: &str,
+        severity: Severity,
+        location: Location,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code: code.to_string(),
+            severity,
+            location,
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    /// Attach a suggestion.
+    pub fn with_suggestion(mut self, s: impl Into<String>) -> Diagnostic {
+        self.suggestion = Some(s.into());
+        self
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:7} {} [{}] {}",
+            self.severity.to_string(),
+            self.code,
+            self.location,
+            self.message
+        )?;
+        if let Some(s) = &self.suggestion {
+            write!(f, " (hint: {})", s)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_for_sorting() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn location_renders_compactly() {
+        assert_eq!(Location::none().to_string(), "-");
+        assert_eq!(Location::event(3, 14).to_string(), "rank 3, event 14");
+        assert_eq!(Location::tick(9).to_string(), "tick 9");
+    }
+
+    #[test]
+    fn diagnostic_display_includes_code_and_hint() {
+        let d = Diagnostic::new(
+            "LT-RECV-001",
+            Severity::Error,
+            Location::tick(4),
+            "receive precedes its send",
+        )
+        .with_suggestion("re-run the ordering");
+        let s = d.to_string();
+        assert!(s.contains("LT-RECV-001"));
+        assert!(s.contains("tick 4"));
+        assert!(s.contains("hint"));
+    }
+}

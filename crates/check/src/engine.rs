@@ -1,0 +1,245 @@
+//! The rule engine: artifacts in, report out.
+
+use crate::diag::{Diagnostic, Severity};
+use pas2p_model::LogicalTrace;
+use pas2p_phases::{PhaseAnalysis, PhaseTable, SimilarityConfig};
+use pas2p_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Everything a rule may look at. Each stage is optional so the engine
+/// can check whatever subset of the pipeline the caller has — rules skip
+/// silently when their inputs are absent.
+#[derive(Clone, Copy)]
+pub struct Artifacts<'a> {
+    /// The physical trace (stage 1 output).
+    pub trace: Option<&'a Trace>,
+    /// The logically ordered trace (stage 2 output).
+    pub logical: Option<&'a LogicalTrace>,
+    /// The phase analysis (stage 3 output).
+    pub analysis: Option<&'a PhaseAnalysis>,
+    /// The phase table / signature contents (stage 4 output).
+    pub table: Option<&'a PhaseTable>,
+    /// Similarity thresholds the analysis was produced with — signature
+    /// rules re-apply them.
+    pub similarity: SimilarityConfig,
+}
+
+impl<'a> Artifacts<'a> {
+    /// No artifacts at all (rules all skip; the report is clean).
+    pub fn empty() -> Artifacts<'a> {
+        Artifacts {
+            trace: None,
+            logical: None,
+            analysis: None,
+            table: None,
+            similarity: SimilarityConfig::default(),
+        }
+    }
+}
+
+/// One family of related rules, run as a unit over the artifacts.
+pub trait Checker {
+    /// Stable name of the rule family (shows up in metrics).
+    fn name(&self) -> &'static str;
+    /// Inspect the artifacts, pushing one diagnostic per finding.
+    fn check(&self, artifacts: &Artifacts<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// The result of one engine run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CheckReport {
+    /// All findings, most severe first.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl CheckReport {
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    fn count(&self, s: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == s).count()
+    }
+
+    /// True when nothing rose above Info.
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0 && self.warnings() == 0
+    }
+
+    /// Whether any finding carries the given code.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Process exit code semantics: 0 clean, 1 warnings only, 2 errors.
+    pub fn exit_code(&self) -> u8 {
+        if self.errors() > 0 {
+            2
+        } else if self.warnings() > 0 {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Render the human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} finding(s) total\n",
+            self.errors(),
+            self.warnings(),
+            self.diagnostics.len()
+        ));
+        out
+    }
+}
+
+/// Metric name for a rule code's hit counter. `pas2p-obs` counters take
+/// `&'static str`, so the mapping is a closed table; unknown codes fall
+/// into a shared bucket.
+pub fn hit_metric(code: &str) -> &'static str {
+    match code {
+        "P2P-MATCH-001" => "check.hit.p2p_match_001",
+        "P2P-MATCH-002" => "check.hit.p2p_match_002",
+        "P2P-MATCH-003" => "check.hit.p2p_match_003",
+        "P2P-MATCH-004" => "check.hit.p2p_match_004",
+        "P2P-MATCH-005" => "check.hit.p2p_match_005",
+        "WILD-RECV-001" => "check.hit.wild_recv_001",
+        "WFG-CYCLE-001" => "check.hit.wfg_cycle_001",
+        "LT-RECV-001" => "check.hit.lt_recv_001",
+        "LT-COLL-001" => "check.hit.lt_coll_001",
+        "MODEL-TICK-001" => "check.hit.model_tick_001",
+        "MODEL-ORDER-001" => "check.hit.model_order_001",
+        "MODEL-CONS-001" => "check.hit.model_cons_001",
+        "SIG-W-001" => "check.hit.sig_w_001",
+        "SIG-OCC-001" => "check.hit.sig_occ_001",
+        "SIG-SIM-001" => "check.hit.sig_sim_001",
+        "SIG-SIM-002" => "check.hit.sig_sim_002",
+        "SIG-REL-001" => "check.hit.sig_rel_001",
+        "SIG-COV-001" => "check.hit.sig_cov_001",
+        "PET-EQ-001" => "check.hit.pet_eq_001",
+        _ => "check.hit.other",
+    }
+}
+
+/// The diagnostics engine: an ordered list of rule families.
+pub struct CheckEngine {
+    checkers: Vec<Box<dyn Checker>>,
+}
+
+impl CheckEngine {
+    /// An engine with no rules (add with [`CheckEngine::push`]).
+    pub fn new() -> CheckEngine {
+        CheckEngine {
+            checkers: Vec::new(),
+        }
+    }
+
+    /// The full shipped rule set: trace, model, and signature families.
+    pub fn with_default_rules() -> CheckEngine {
+        let mut e = CheckEngine::new();
+        e.push(Box::new(crate::trace_rules::TraceRules));
+        e.push(Box::new(crate::model_rules::ModelRules));
+        e.push(Box::new(crate::signature_rules::SignatureRules));
+        e
+    }
+
+    /// Append a rule family; families run in insertion order.
+    pub fn push(&mut self, c: Box<dyn Checker>) {
+        self.checkers.push(c);
+    }
+
+    /// Run every rule family over the artifacts.
+    ///
+    /// When `pas2p-obs` is enabled, bumps a `check.hit.*` counter per
+    /// finding and `check.runs` once.
+    pub fn run(&self, artifacts: &Artifacts<'_>) -> CheckReport {
+        let mut diagnostics = Vec::new();
+        for c in &self.checkers {
+            let before = diagnostics.len();
+            c.check(artifacts, &mut diagnostics);
+            if pas2p_obs::enabled() {
+                for d in &diagnostics[before..] {
+                    pas2p_obs::counter(hit_metric(&d.code)).add(1);
+                }
+            }
+        }
+        // Most severe first; ties keep rule order (stable sort).
+        diagnostics.sort_by_key(|d| std::cmp::Reverse(d.severity));
+        if pas2p_obs::enabled() {
+            pas2p_obs::counter("check.runs").add(1);
+            pas2p_obs::counter("check.findings").add(diagnostics.len() as u64);
+        }
+        CheckReport { diagnostics }
+    }
+}
+
+impl Default for CheckEngine {
+    fn default() -> Self {
+        CheckEngine::with_default_rules()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Location;
+
+    struct Fixed(Severity);
+    impl Checker for Fixed {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn check(&self, _a: &Artifacts<'_>, out: &mut Vec<Diagnostic>) {
+            out.push(Diagnostic::new("X-001", self.0, Location::none(), "x"));
+        }
+    }
+
+    #[test]
+    fn empty_artifacts_check_clean() {
+        let report = CheckEngine::with_default_rules().run(&Artifacts::empty());
+        assert!(report.is_clean());
+        assert_eq!(report.exit_code(), 0);
+    }
+
+    #[test]
+    fn report_sorts_and_counts_by_severity() {
+        let mut e = CheckEngine::new();
+        e.push(Box::new(Fixed(Severity::Info)));
+        e.push(Box::new(Fixed(Severity::Error)));
+        e.push(Box::new(Fixed(Severity::Warning)));
+        let r = e.run(&Artifacts::empty());
+        assert_eq!(r.diagnostics[0].severity, Severity::Error);
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert_eq!(r.exit_code(), 2);
+        assert!(!r.is_clean());
+        assert!(r.has_code("X-001"));
+    }
+
+    #[test]
+    fn warning_only_exit_code_is_one() {
+        let mut e = CheckEngine::new();
+        e.push(Box::new(Fixed(Severity::Warning)));
+        let r = e.run(&Artifacts::empty());
+        assert_eq!(r.exit_code(), 1);
+        assert!(r.render().contains("1 warning(s)"));
+    }
+
+    #[test]
+    fn hit_metric_is_total() {
+        assert_eq!(hit_metric("LT-RECV-001"), "check.hit.lt_recv_001");
+        assert_eq!(hit_metric("NO-SUCH-999"), "check.hit.other");
+    }
+}

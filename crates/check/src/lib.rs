@@ -1,0 +1,56 @@
+//! `pas2p-check`: a static invariant checker and MPI communication
+//! analyzer for the PAS2P pipeline.
+//!
+//! Every stage of the reproduction produces an artifact with hard
+//! invariants behind it: the physical trace must pair sends with
+//! receives (§3.1's event relation), the logical trace must respect the
+//! ordering rules of §3.2 (causality, tick exclusivity, collective
+//! alignment), and the phase analysis and table must keep the
+//! bookkeeping that makes `PET = Σ PhaseETᵢ × Wᵢ` (§4) an identity
+//! rather than an estimate. This crate checks all of them after the
+//! fact, as a linter: artifacts in, a [`CheckReport`] of
+//! [`Diagnostic`]s out.
+//!
+//! # Rule families
+//!
+//! * **Trace** ([`trace_rules`]) — `P2P-MATCH-001..005` (unmatched and
+//!   mismatched point-to-point pairs), `WILD-RECV-001` (wildcard-source
+//!   receives: a nondeterminism hazard), `WFG-CYCLE-001` (the traced
+//!   order deadlocks under deterministic replay).
+//! * **Model** ([`model_rules`]) — `LT-RECV-001` (a receive placed
+//!   before its send), `MODEL-TICK-001` (two events of one process in a
+//!   tick), `LT-COLL-001` (a collective split across ticks),
+//!   `MODEL-ORDER-001` (program order broken on the tick axis),
+//!   `MODEL-CONS-001` (events lost or invented by the relayout).
+//! * **Signature** ([`signature_rules`]) — `SIG-W-001` (weight ≠
+//!   occurrence count), `SIG-OCC-001` (occurrences do not tile the
+//!   trace), `SIG-SIM-001`/`SIG-SIM-002` (similarity bookkeeping),
+//!   `SIG-REL-001` (table rows disagree with the analysis),
+//!   `SIG-COV-001` (low relevant coverage), `PET-EQ-001` (the PET
+//!   reconstruction identity fails).
+//!
+//! # Use
+//!
+//! ```
+//! use pas2p_check::{Artifacts, CheckEngine};
+//!
+//! let engine = CheckEngine::with_default_rules();
+//! let report = engine.run(&Artifacts::empty());
+//! assert!(report.is_clean());
+//! assert_eq!(report.exit_code(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod engine;
+pub mod model_rules;
+pub mod signature_rules;
+pub mod trace_rules;
+
+pub use diag::{Diagnostic, Location, Severity};
+pub use engine::{hit_metric, Artifacts, CheckEngine, CheckReport, Checker};
+pub use model_rules::ModelRules;
+pub use signature_rules::{SignatureRuleConfig, SignatureRules};
+pub use trace_rules::TraceRules;

@@ -31,6 +31,8 @@
 //! assert!(report.pete_percent < 15.0, "PETE {}%", report.pete_percent);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod experiment;
 pub mod pipeline;
@@ -44,7 +46,10 @@ pub mod prelude {
         cluster_a, cluster_b, cluster_c, cluster_d, preset_by_name, IsaKind, MachineModel,
         Mapping, MappingPolicy, Work,
     };
-    pub use pas2p_model::{lamport_order, pas2p_order, LogicalTrace};
+    pub use pas2p_check::{Artifacts, CheckEngine, CheckReport, Diagnostic, Severity};
+    pub use pas2p_model::{
+        lamport_order, pas2p_order, try_pas2p_order, LogicalTrace, ModelError,
+    };
     pub use pas2p_mpisim::{run_app, Group, Mpi, RankCtx, ReduceOp, SimConfig};
     pub use pas2p_phases::{extract_phases, PhaseAnalysis, PhaseTable, SimilarityConfig};
     pub use pas2p_signature::{

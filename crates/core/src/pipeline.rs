@@ -1,5 +1,6 @@
 //! The end-to-end PAS2P pipeline (Fig 1 / Fig 2 of the paper).
 
+use pas2p_check::{Artifacts, CheckEngine, CheckReport};
 use pas2p_machine::{MachineModel, MappingPolicy};
 use pas2p_model::pas2p_order;
 use pas2p_obs::{Level, MetricsSnapshot};
@@ -41,6 +42,10 @@ pub struct Analysis {
     /// when observability is disabled).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub metrics: Option<MetricsSnapshot>,
+    /// Invariant-check report over the produced artifacts (absent unless
+    /// the analysis ran through [`Pas2p::analyze_checked`]).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub check: Option<CheckReport>,
 }
 
 impl Analysis {
@@ -78,6 +83,75 @@ impl Pas2p {
         base: &MachineModel,
         policy: MappingPolicy,
     ) -> Analysis {
+        self.analyze_full(app, base, policy).0
+    }
+
+    /// [`Pas2p::analyze`], then run the `pas2p-check` diagnostics engine
+    /// over every artifact of the stage (physical trace, logical trace,
+    /// phase analysis, phase table) and attach the [`CheckReport`] to the
+    /// result. The intermediate trace and logical trace are kept alive
+    /// only for the check and dropped afterwards.
+    pub fn analyze_checked(
+        &self,
+        app: &dyn MpiApp,
+        base: &MachineModel,
+        policy: MappingPolicy,
+    ) -> Analysis {
+        let (mut analysis, trace, logical) = self.analyze_full(app, base, policy);
+        let mut st = pas2p_obs::stage("check");
+        let artifacts = Artifacts {
+            trace: Some(&trace),
+            logical: Some(&logical),
+            analysis: Some(&analysis.analysis),
+            table: Some(&analysis.table),
+            similarity: self.similarity,
+        };
+        let report = CheckEngine::with_default_rules().run(&artifacts);
+        st.items(report.diagnostics.len() as u64);
+        st.finish();
+        if !report.is_clean() {
+            pas2p_obs::log(
+                Level::Warn,
+                "pas2p.pipeline",
+                "check found issues",
+                &[
+                    ("app", analysis.app_name.clone()),
+                    ("errors", report.errors().to_string()),
+                    ("warnings", report.warnings().to_string()),
+                ],
+            );
+        }
+        // Refresh the snapshot so the check stage and rule hit counters
+        // are part of the recorded metrics.
+        if pas2p_obs::enabled() {
+            analysis.metrics = Some(pas2p_obs::global().snapshot());
+        }
+        analysis.check = Some(report);
+        analysis
+    }
+
+    /// Stage A up to the machine-independent model only (§3.1–§3.2):
+    /// run the instrumented application and apply the PAS2P ordering,
+    /// returning both the physical trace and its logical trace. Useful
+    /// for exporting the model so it can be inspected or re-checked
+    /// (`pas2p-cli check --logical`).
+    pub fn model(
+        &self,
+        app: &dyn MpiApp,
+        base: &MachineModel,
+        policy: MappingPolicy,
+    ) -> (pas2p_trace::Trace, pas2p_model::LogicalTrace) {
+        let (trace, _) = run_traced(app, base, policy, self.instrumentation);
+        let logical = pas2p_order(&trace);
+        (trace, logical)
+    }
+
+    fn analyze_full(
+        &self,
+        app: &dyn MpiApp,
+        base: &MachineModel,
+        policy: MappingPolicy,
+    ) -> (Analysis, pas2p_trace::Trace, pas2p_model::LogicalTrace) {
         let _span = pas2p_obs::span("pas2p.pipeline", "analyze");
 
         let mut st = pas2p_obs::stage("run_traced");
@@ -127,7 +201,7 @@ impl Pas2p {
                 ("tfat_seconds", format!("{tfat_seconds:.6}")),
             ],
         );
-        Analysis {
+        let analysis = Analysis {
             app_name: app.name(),
             workload: app.workload(),
             nprocs: app.nprocs(),
@@ -139,7 +213,9 @@ impl Pas2p {
             analysis,
             table,
             metrics,
-        }
+            check: None,
+        };
+        (analysis, trace, logical)
     }
 
     /// Build the signature from an analysis by re-running the application

@@ -25,6 +25,8 @@
 //! signature on the 128-core cluster A) multiplies compute cost by the
 //! number of processes sharing a core.
 
+#![forbid(unsafe_code)]
+
 pub mod compute;
 pub mod jitter;
 pub mod mapping;

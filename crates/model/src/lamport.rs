@@ -44,6 +44,7 @@ mod tests {
             involved: 1,
             msg_id,
             comm_id: 0,
+            wildcard: false,
         }
     }
 

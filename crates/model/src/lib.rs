@@ -24,10 +24,14 @@
 //! A plain Lamport baseline ([`lamport::lamport_order`]) is provided for
 //! the ablation study motivating the PAS2P ordering.
 
+#![forbid(unsafe_code)]
+
 pub mod lamport;
 pub mod logical;
 pub mod ordering;
 
 pub use lamport::lamport_order;
 pub use logical::{LogicalEvent, LogicalTrace, Tick};
-pub use ordering::{pas2p_order, pas2p_order_logged};
+pub use ordering::{
+    pas2p_order, pas2p_order_logged, try_pas2p_order, try_pas2p_order_logged, ModelError,
+};

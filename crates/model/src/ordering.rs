@@ -32,19 +32,94 @@ pub(crate) enum Rule {
     Lamport,
 }
 
+/// Structural defects that make a trace impossible to order. These are
+/// the conditions the panicking entry points abort on; the `try_` family
+/// surfaces them as values so callers (notably `pas2p-check`) can report
+/// instead of crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A collective never completed: some member's event stream ran out
+    /// before all `involved` processes arrived at the communicator.
+    CollectiveIncomplete {
+        /// Communicator whose collective is stuck.
+        comm_id: u64,
+        /// How many members had arrived when the queue drained.
+        arrived: u32,
+        /// How many the collective requires.
+        involved: u32,
+    },
+    /// An event was never assigned a logical time (the queue drained
+    /// around it — only possible for events stranded behind an incomplete
+    /// collective).
+    Unordered {
+        /// Process owning the stranded event.
+        process: u32,
+        /// Its per-process event number.
+        number: u64,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::CollectiveIncomplete {
+                comm_id,
+                arrived,
+                involved,
+            } => write!(
+                f,
+                "collective on communicator {} never completed: {} of {} members arrived",
+                comm_id, arrived, involved
+            ),
+            ModelError::Unordered { process, number } => write!(
+                f,
+                "event {} of process {} was never assigned a logical time",
+                number, process
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
 /// Apply the PAS2P ordering to a physical trace.
+///
+/// Panics on a structurally broken trace; use [`try_pas2p_order`] when
+/// the input is untrusted.
 pub fn pas2p_order(trace: &Trace) -> LogicalTrace {
     pas2p_order_logged(trace).0
+}
+
+/// Fallible form of [`pas2p_order`].
+pub fn try_pas2p_order(trace: &Trace) -> Result<LogicalTrace, ModelError> {
+    try_pas2p_order_logged(trace).map(|(l, _)| l)
 }
 
 /// Apply the PAS2P ordering, also returning the dequeue log as
 /// `(process, event number)` pairs — the first column of the paper's
 /// Table 1.
+///
+/// Panics on a structurally broken trace; use [`try_pas2p_order_logged`]
+/// when the input is untrusted.
 pub fn pas2p_order_logged(trace: &Trace) -> (LogicalTrace, Vec<(u32, u64)>) {
     order_with_rule(trace, Rule::Pas2p)
 }
 
+/// Fallible form of [`pas2p_order_logged`].
+pub fn try_pas2p_order_logged(
+    trace: &Trace,
+) -> Result<(LogicalTrace, Vec<(u32, u64)>), ModelError> {
+    try_order_with_rule(trace, Rule::Pas2p)
+}
+
 pub(crate) fn order_with_rule(trace: &Trace, rule: Rule) -> (LogicalTrace, Vec<(u32, u64)>) {
+    try_order_with_rule(trace, rule).unwrap_or_else(|e| panic!("{}", e))
+}
+
+pub(crate) fn try_order_with_rule(
+    trace: &Trace,
+    rule: Rule,
+) -> Result<(LogicalTrace, Vec<(u32, u64)>), ModelError> {
     let nprocs = trace.nprocs;
     let n = nprocs as usize;
 
@@ -168,15 +243,28 @@ pub(crate) fn order_with_rule(trace: &Trace, rule: Rule) -> (LogicalTrace, Vec<(
             }
         }
     }
-    assert!(
-        coll_pending.is_empty(),
-        "collective never completed: a member's events ran out (inconsistent trace)"
-    );
+    if let Some((&comm_id, members)) = coll_pending.iter().next() {
+        let (q, j) = members[0];
+        let involved = trace.procs[q].events[j].involved;
+        return Err(ModelError::CollectiveIncomplete {
+            comm_id,
+            arrived: members.len() as u32,
+            involved,
+        });
+    }
 
-    let mut lt: Vec<Vec<u64>> = lt
-        .into_iter()
-        .map(|v| v.into_iter().map(|o| o.expect("event left unordered")).collect())
-        .collect();
+    let mut resolved: Vec<Vec<u64>> = Vec::with_capacity(lt.len());
+    for (p, v) in lt.into_iter().enumerate() {
+        let mut out = Vec::with_capacity(v.len());
+        for (i, o) in v.into_iter().enumerate() {
+            out.push(o.ok_or(ModelError::Unordered {
+                process: p as u32,
+                number: i as u64,
+            })?);
+        }
+        resolved.push(out);
+    }
+    let mut lt = resolved;
 
     let permuted = if rule == Rule::Pas2p {
         permute_recvs(trace, &mut lt)
@@ -193,7 +281,7 @@ pub(crate) fn order_with_rule(trace: &Trace, rule: Rule) -> (LogicalTrace, Vec<(
         pas2p_obs::counter("model.tick_splits").add(splits);
         pas2p_obs::counter("model.ticks").add(logical.len() as u64);
     }
-    (logical, log)
+    Ok((logical, log))
 }
 
 fn push_next(queue: &mut VecDeque<(usize, usize)>, trace: &Trace, p: usize, i: usize) {
@@ -320,6 +408,7 @@ mod tests {
             involved,
             msg_id,
             comm_id,
+            wildcard: false,
         }
     }
 

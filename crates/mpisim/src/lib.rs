@@ -35,6 +35,8 @@
 //! assert!(report.makespan > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod coll;
 pub mod ctx;
 pub mod group;

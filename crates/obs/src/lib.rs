@@ -51,6 +51,8 @@
 //! pas2p_obs::set_enabled(false);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod logger;
 pub mod metrics;
 pub mod registry;

@@ -28,6 +28,8 @@
 //! explicitly "configurable" in the paper; the ablation benches sweep
 //! them).
 
+#![forbid(unsafe_code)]
+
 pub mod extract;
 pub mod sig;
 pub mod table;

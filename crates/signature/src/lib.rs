@@ -25,6 +25,8 @@
 //! communication counters to timestamp the startpoint/endpoint crossings
 //! (the phase table addresses phases by event counts, Fig 7).
 
+#![forbid(unsafe_code)]
+
 pub mod app;
 pub mod checkpoint;
 pub mod construct;

@@ -94,6 +94,7 @@ struct Shape {
     size: u64,
     involved: u32,
     comm_id: u64,
+    wildcard: bool,
 }
 
 fn shape_of(e: &TraceEvent) -> Shape {
@@ -109,6 +110,7 @@ fn shape_of(e: &TraceEvent) -> Shape {
         size: e.size,
         involved: e.involved,
         comm_id: e.comm_id,
+        wildcard: e.wildcard,
     }
 }
 
@@ -137,7 +139,7 @@ pub fn compress(trace: &Trace) -> Vec<u8> {
         out.push(s.kind);
         out.push(s.coll);
         put_signed(&mut out, if s.peer == i64::MIN { i64::MIN + 1 } else { s.peer });
-        out.push(u8::from(s.peer == i64::MIN));
+        out.push(u8::from(s.peer == i64::MIN) | (u8::from(s.wildcard) << 1));
         put_varint(&mut out, s.tag as u64);
         put_varint(&mut out, s.size);
         put_varint(&mut out, s.involved as u64);
@@ -185,7 +187,9 @@ pub fn decompress(buf: &[u8]) -> Result<Trace, TraceDecodeError> {
         let kind = *r.take(1)?.first().unwrap();
         let coll = *r.take(1)?.first().unwrap();
         let peer_raw = r.signed()?;
-        let peer_none = *r.take(1)?.first().unwrap() == 1;
+        let peer_flags = *r.take(1)?.first().unwrap();
+        let peer_none = peer_flags & 1 == 1;
+        let wildcard = peer_flags & 2 == 2;
         let tag = r.varint()? as u32;
         let size = r.varint()?;
         let involved = r.varint()? as u32;
@@ -198,6 +202,7 @@ pub fn decompress(buf: &[u8]) -> Result<Trace, TraceDecodeError> {
             size,
             involved,
             comm_id,
+            wildcard,
         });
     }
 
@@ -236,6 +241,7 @@ pub fn decompress(buf: &[u8]) -> Result<Trace, TraceDecodeError> {
                 involved: s.involved,
                 msg_id,
                 comm_id: s.comm_id,
+                wildcard: s.wildcard,
             });
         }
         procs.push(ProcessTrace {
@@ -275,6 +281,7 @@ mod tests {
                     involved: 1,
                     msg_id: (proc_id as u64) << 32 | i as u64,
                     comm_id: 0,
+                    wildcard: false,
                 });
                 t += 0.0005;
                 events.push(TraceEvent {
@@ -289,6 +296,7 @@ mod tests {
                     involved: 1,
                     msg_id: (((proc_id + procs - 1) % procs) as u64) << 32 | i as u64,
                     comm_id: 0,
+                    wildcard: i % 3 == 0,
                 });
             }
             ProcessTrace {
@@ -318,6 +326,7 @@ mod tests {
                 assert_eq!(x.size, y.size);
                 assert_eq!(x.msg_id, y.msg_id);
                 assert_eq!(x.comm_id, y.comm_id);
+                assert_eq!(x.wildcard, y.wildcard);
                 assert!((x.t_post - y.t_post).abs() < 1e-8);
                 assert!((x.t_complete - y.t_complete).abs() < 1e-8);
             }

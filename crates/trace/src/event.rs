@@ -98,6 +98,12 @@ pub struct TraceEvent {
     /// Communicator identity for collectives (stable across members; see
     /// [`pas2p_mpisim::Group::comm_id`]); 0 for point-to-point events.
     pub comm_id: u64,
+    /// True when a receive was posted with a wildcard source
+    /// (`MPI_ANY_SOURCE`): `peer` then records the source that happened to
+    /// match this run, one of several possible outcomes. Always false for
+    /// sends and collectives.
+    #[serde(default)]
+    pub wildcard: bool,
 }
 
 /// The event log of one process.
@@ -188,6 +194,12 @@ impl Trace {
                         i, rank
                     ));
                 }
+                if e.wildcard && e.kind != EventKind::Recv {
+                    return Err(format!(
+                        "event {} of rank {} carries a wildcard flag but is not a receive",
+                        i, rank
+                    ));
+                }
                 // Completions are monotone per process; posts may precede
                 // the previous completion (nonblocking receives overlap).
                 if e.t_complete + 1e-9 < last {
@@ -220,6 +232,7 @@ mod tests {
             involved: 1,
             msg_id: number + 1,
             comm_id: 0,
+            wildcard: false,
         }
     }
 

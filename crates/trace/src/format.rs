@@ -109,7 +109,8 @@ fn encode_event(e: &TraceEvent, out: &mut Vec<u8>) {
     out.extend_from_slice(&e.t_complete.to_le_bytes()); // 8
     out.push(k); // 1
     out.push(c); // 1
-    out.extend_from_slice(&[0u8; 2]); // 2 pad
+    out.push(u8::from(e.wildcard)); // 1 flags (bit 0: wildcard source)
+    out.push(0); // 1 pad
     let peer: i32 = e.peer.map(|p| p as i32).unwrap_or(-1);
     out.extend_from_slice(&peer.to_le_bytes()); // 4
     out.extend_from_slice(&e.tag.to_le_bytes()); // 4
@@ -156,7 +157,10 @@ fn decode_event(cur: &mut Cursor<'_>, process: u32) -> Result<TraceEvent, TraceD
     let t_complete = cur.f64()?;
     let k = cur.u8()?;
     let c = cur.u8()?;
-    cur.take(2)?; // pad
+    // Flags byte was a pad in older traces, which wrote it as zero, so
+    // decoding them yields `wildcard: false` — exactly what they meant.
+    let flags = cur.u8()?;
+    cur.take(1)?; // pad
     let peer = cur.i32()?;
     let tag = cur.u32()?;
     let size = cur.u64()?;
@@ -175,6 +179,7 @@ fn decode_event(cur: &mut Cursor<'_>, process: u32) -> Result<TraceEvent, TraceD
         involved,
         msg_id,
         comm_id,
+        wildcard: flags & 1 != 0,
     })
 }
 
@@ -259,6 +264,7 @@ mod tests {
             involved: if matches!(kind, EventKind::Coll(_)) { 4 } else { 1 },
             msg_id: number * 7,
             comm_id: if matches!(kind, EventKind::Coll(_)) { 99 } else { 0 },
+            wildcard: kind == EventKind::Recv && number % 2 == 1,
         };
         Trace {
             nprocs: 2,
@@ -350,6 +356,7 @@ mod tests {
                         involved: 8,
                         msg_id: 0,
                         comm_id: 7,
+                        wildcard: false,
                     }],
                     end_time: 0.1,
                 }],

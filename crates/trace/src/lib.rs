@@ -22,6 +22,8 @@
 //! overhead to the rank's virtual clock so the reproduction exhibits the
 //! same effect.
 
+#![forbid(unsafe_code)]
+
 pub mod compress;
 pub mod event;
 pub mod format;
@@ -30,7 +32,7 @@ pub mod recorder;
 pub use event::{CollClass, EventKind, ProcessTrace, Trace, TraceEvent};
 pub use format::{TraceDecodeError, EVENT_RECORD_BYTES};
 pub use compress::{compress, decompress};
-pub use recorder::{InstrumentationModel, TraceCollector, Traced};
+pub use recorder::{InstrumentationModel, TraceBuildError, TraceCollector, Traced};
 
 #[cfg(test)]
 mod tests {

@@ -71,14 +71,22 @@ impl TraceCollector {
         slots[rank] = Some(log);
     }
 
-    /// Assemble the full trace. Panics if any rank never deposited.
+    /// Assemble the full trace. Panics if any rank never deposited; use
+    /// [`TraceCollector::try_into_trace`] to diagnose instead.
     pub fn into_trace(self) -> Trace {
+        self.try_into_trace()
+            .unwrap_or_else(|e| panic!("{}", e))
+    }
+
+    /// Assemble the full trace, reporting a missing rank as an error
+    /// instead of aborting — the checker's entry path for possibly
+    /// incomplete collections.
+    pub fn try_into_trace(self) -> Result<Trace, TraceBuildError> {
         let slots = self.slots.into_inner();
-        let procs: Vec<ProcessTrace> = slots
-            .into_iter()
-            .enumerate()
-            .map(|(rank, s)| s.unwrap_or_else(|| panic!("rank {} never finished tracing", rank)))
-            .collect();
+        let mut procs: Vec<ProcessTrace> = Vec::with_capacity(slots.len());
+        for (rank, s) in slots.into_iter().enumerate() {
+            procs.push(s.ok_or(TraceBuildError::MissingRank(rank as u32))?);
+        }
         let trace = Trace {
             nprocs: self.nprocs,
             machine: self.machine,
@@ -88,9 +96,28 @@ impl TraceCollector {
             pas2p_obs::counter("trace.events").add(trace.total_events() as u64);
             pas2p_obs::counter("trace.bytes").add(trace.size_bytes());
         }
-        trace
+        Ok(trace)
     }
 }
+
+/// Errors assembling a [`Trace`] from per-rank deposits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceBuildError {
+    /// A rank never deposited its log (it died or `finish` was skipped).
+    MissingRank(u32),
+}
+
+impl std::fmt::Display for TraceBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceBuildError::MissingRank(r) => {
+                write!(f, "rank {} never finished tracing", r)
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceBuildError {}
 
 /// The `libpas2p` analog: wraps any [`Mpi`] implementation, recording an
 /// event per communication call, then delegates. Create one per rank
@@ -130,6 +157,7 @@ impl<'a, C: Mpi> Traced<'a, C> {
         involved: u32,
         msg_id: u64,
         comm_id: u64,
+        wildcard: bool,
     ) {
         let t_complete = self.inner.now();
         let number = self.events.len() as u64;
@@ -145,6 +173,7 @@ impl<'a, C: Mpi> Traced<'a, C> {
             involved,
             msg_id,
             comm_id,
+            wildcard,
         });
         // Charge the instrumentation overhead after the event completes.
         self.inner.elapse(self.per_event);
@@ -197,12 +226,14 @@ impl<'a, C: Mpi> Mpi for Traced<'a, C> {
             1,
             msg_id,
             0,
+            false,
         );
         msg_id
     }
 
     fn recv(&mut self, src: Option<u32>, tag: Option<Tag>) -> Message {
         let t_post = self.inner.now();
+        let wildcard = src.is_none();
         let m = self.inner.recv(src, tag);
         self.record(
             t_post,
@@ -213,6 +244,7 @@ impl<'a, C: Mpi> Mpi for Traced<'a, C> {
             1,
             m.msg_id,
             0,
+            wildcard,
         );
         m
     }
@@ -221,6 +253,7 @@ impl<'a, C: Mpi> Mpi for Traced<'a, C> {
         // A nonblocking receive is one Recv event posted at irecv time and
         // completed at the wait — exactly how PMPI tracers attribute it.
         let t_post = req.posted_at;
+        let wildcard = req.src.is_none();
         let m = self.inner.wait(req);
         self.record(
             t_post,
@@ -231,6 +264,7 @@ impl<'a, C: Mpi> Mpi for Traced<'a, C> {
             1,
             m.msg_id,
             0,
+            wildcard,
         );
         m
     }
@@ -247,6 +281,7 @@ impl<'a, C: Mpi> Mpi for Traced<'a, C> {
             group.len() as u32,
             0,
             group.comm_id(),
+            false,
         );
     }
 
@@ -264,6 +299,7 @@ impl<'a, C: Mpi> Mpi for Traced<'a, C> {
             group.len() as u32,
             0,
             group.comm_id(),
+            false,
         );
         out
     }
@@ -286,6 +322,7 @@ impl<'a, C: Mpi> Mpi for Traced<'a, C> {
             group.len() as u32,
             0,
             group.comm_id(),
+            false,
         );
         out
     }
@@ -302,6 +339,7 @@ impl<'a, C: Mpi> Mpi for Traced<'a, C> {
             group.len() as u32,
             0,
             group.comm_id(),
+            false,
         );
         out
     }
@@ -319,6 +357,7 @@ impl<'a, C: Mpi> Mpi for Traced<'a, C> {
             group.len() as u32,
             0,
             group.comm_id(),
+            false,
         );
         out
     }
@@ -336,6 +375,7 @@ impl<'a, C: Mpi> Mpi for Traced<'a, C> {
             group.len() as u32,
             0,
             group.comm_id(),
+            false,
         );
         out
     }
@@ -353,6 +393,7 @@ impl<'a, C: Mpi> Mpi for Traced<'a, C> {
             group.len() as u32,
             0,
             group.comm_id(),
+            false,
         );
         out
     }
@@ -374,6 +415,7 @@ impl<'a, C: Mpi> Mpi for Traced<'a, C> {
             group.len() as u32,
             0,
             group.comm_id(),
+            false,
         );
         out
     }

@@ -6,6 +6,8 @@
 //! pas2p-cli signature --app cg --nprocs 16 --base A [--out signature.json]
 //! pas2p-cli predict   --app cg --nprocs 16 --signature signature.json --target B
 //! pas2p-cli validate  --app cg --nprocs 16 --base A --target B
+//! pas2p-cli check     --app cg --nprocs 16 --base A [--json] [--logical-out model.json]
+//! pas2p-cli check     --logical model.json [--json]
 //! pas2p-cli metrics   --analysis analysis.json
 //! ```
 //!
@@ -31,8 +33,14 @@ const USAGE: &str = "usage:
   pas2p-cli signature --app NAME --nprocs N --base M [--out FILE]
   pas2p-cli predict   --app NAME --nprocs N --signature FILE --target M
   pas2p-cli validate  --app NAME --nprocs N --base M --target M
+  pas2p-cli check     --app NAME --nprocs N --base M [--json] [--logical-out FILE]
+  pas2p-cli check     --logical FILE [--json]
   pas2p-cli metrics   --analysis FILE
 machines: A, B, C, D (the paper's clusters)
+check: runs the pas2p-check invariant rules over every pipeline artifact;
+  exits 0 when clean, 1 on warnings, 2 on errors (--json for machine output);
+  --logical-out dumps the logical trace JSON so it can be re-checked with
+  --logical FILE (model rules only)
 observability (any command):
   --log-level LEVEL   off|error|warn|info|debug|trace (default warn; env PAS2P_LOG)
   --log-file FILE     append JSON-lines log records to FILE (env PAS2P_LOG_FILE)
@@ -44,7 +52,11 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
-/// Parse `--flag value` pairs, reporting exactly which flag is malformed.
+/// Flags that take no value; their presence maps to "true".
+const BOOL_FLAGS: &[&str] = &["json"];
+
+/// Parse `--flag value` pairs (and bare boolean flags), reporting exactly
+/// which flag is malformed.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
@@ -55,6 +67,13 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             .ok_or_else(|| format!("expected a --flag, got '{arg}'"))?;
         if key.is_empty() {
             return Err("bare '--' is not a flag".into());
+        }
+        if BOOL_FLAGS.contains(&key) {
+            if flags.insert(key.to_string(), "true".into()).is_some() {
+                return Err(format!("flag '--{key}' given twice"));
+            }
+            i += 1;
+            continue;
         }
         let value = args
             .get(i + 1)
@@ -126,7 +145,7 @@ fn write_or_print(flags: &HashMap<String, String>, json: &str) -> Result<(), Str
     }
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn run(argv: &[String]) -> Result<ExitCode, String> {
     let Some((cmd, rest)) = argv.split_first() else {
         return Err("no command".into());
     };
@@ -134,7 +153,7 @@ fn run(argv: &[String]) -> Result<(), String> {
     let metrics_out = apply_obs_flags(&flags)?;
     let pas2p = Pas2p::default();
 
-    let result = match cmd.as_str() {
+    let result: Result<ExitCode, String> = match cmd.as_str() {
         "list" => {
             println!("applications (--app):");
             for name in [
@@ -145,7 +164,7 @@ fn run(argv: &[String]) -> Result<(), String> {
                 println!("  {:<12} {}", name, a.workload());
             }
             println!("machines (--base/--target): A, B, C, D");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "analyze" => {
             let app = app(&flags)?;
@@ -160,7 +179,7 @@ fn run(argv: &[String]) -> Result<(), String> {
                 analysis.aet_instrumented
             );
             let json = serde_json::to_string_pretty(&analysis).map_err(|e| e.to_string())?;
-            write_or_print(&flags, &json)
+            write_or_print(&flags, &json).map(|()| ExitCode::SUCCESS)
         }
         "signature" => {
             let app = app(&flags)?;
@@ -175,7 +194,7 @@ fn run(argv: &[String]) -> Result<(), String> {
                 stats.sct
             );
             let json = serde_json::to_string(&signature).map_err(|e| e.to_string())?;
-            write_or_print(&flags, &json)
+            write_or_print(&flags, &json).map(|()| ExitCode::SUCCESS)
         }
         "predict" => {
             let app = app(&flags)?;
@@ -195,7 +214,7 @@ fn run(argv: &[String]) -> Result<(), String> {
                 prediction.set,
                 prediction.measurements.len()
             );
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "validate" => {
             let app = app(&flags)?;
@@ -211,7 +230,57 @@ fn run(argv: &[String]) -> Result<(), String> {
                 report.pete_percent,
                 report.set_vs_aet_percent
             );
-            Ok(())
+            Ok(ExitCode::SUCCESS)
+        }
+        "check" => {
+            let report = if let Some(path) = flags.get("logical") {
+                // Artifact mode: check a previously exported logical
+                // trace (model rules only — there is no physical trace
+                // or phase analysis to cross-check against).
+                let data = std::fs::read_to_string(path)
+                    .map_err(|e| format!("reading {}: {}", path, e))?;
+                let logical: LogicalTrace =
+                    serde_json::from_str(&data).map_err(|e| format!("parsing {}: {}", path, e))?;
+                if !flags.contains_key("json") {
+                    eprintln!(
+                        "{}: checked {} ticks, {} events",
+                        path,
+                        logical.len(),
+                        logical.total_events()
+                    );
+                }
+                let artifacts = Artifacts {
+                    logical: Some(&logical),
+                    ..Artifacts::empty()
+                };
+                CheckEngine::with_default_rules().run(&artifacts)
+            } else {
+                let app = app(&flags)?;
+                let base = machine(&flags, "base")?;
+                if let Some(out) = flags.get("logical-out") {
+                    let (_, logical) = pas2p.model(app.as_ref(), &base, MappingPolicy::Block);
+                    let json = serde_json::to_string(&logical).map_err(|e| e.to_string())?;
+                    std::fs::write(out, json).map_err(|e| format!("writing {}: {}", out, e))?;
+                    eprintln!("wrote logical trace to {}", out);
+                }
+                let analysis = pas2p.analyze_checked(app.as_ref(), &base, MappingPolicy::Block);
+                if !flags.contains_key("json") {
+                    eprintln!(
+                        "{}: checked {} events, {} phases",
+                        analysis.app_name,
+                        analysis.trace_events,
+                        analysis.total_phases()
+                    );
+                }
+                analysis.check.expect("analyze_checked attaches a report")
+            };
+            if flags.contains_key("json") {
+                let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+                println!("{}", json);
+            } else {
+                print!("{}", report.render());
+            }
+            Ok(ExitCode::from(report.exit_code()))
         }
         "metrics" => {
             let path = flags.get("analysis").ok_or("missing --analysis")?;
@@ -226,7 +295,7 @@ fn run(argv: &[String]) -> Result<(), String> {
                 )
             })?;
             print!("{}", snapshot.render());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command '{}'", other)),
     };
@@ -250,7 +319,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     match run(&argv) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {}", e);
             usage()

@@ -5,6 +5,8 @@
 //! re-exports the stack. See the `pas2p` crate for the pipeline API and
 //! `DESIGN.md` for the system inventory.
 
+#![forbid(unsafe_code)]
+
 pub use pas2p;
 pub use pas2p_apps as apps;
 pub use pas2p_obs as obs;

@@ -1,0 +1,214 @@
+//! Integration tests of the `pas2p-check` diagnostics engine: golden
+//! clean runs over the shipped applications, and corruption tests
+//! asserting that specific defects trip the expected rule codes.
+
+use pas2p::prelude::*;
+use pas2p::Pas2p;
+use pas2p_check::{Artifacts, CheckEngine};
+use pas2p_phases::extract_phases;
+use pas2p_trace::{EventKind, TraceEvent};
+
+/// Run the full analyze pipeline with checking and return the report.
+fn checked_report(name: &str, nprocs: u32) -> CheckReport {
+    let app = pas2p_apps::by_name(name, nprocs).unwrap_or_else(|| panic!("unknown app {}", name));
+    let base = cluster_a();
+    let analysis = Pas2p::default().analyze_checked(app.as_ref(), &base, MappingPolicy::Block);
+    analysis.check.expect("analyze_checked attaches a report")
+}
+
+/// The NPB kernels named in the issue check clean: no errors, no
+/// warnings (Info-level findings like wildcard receives are allowed).
+#[test]
+fn npb_apps_check_clean() {
+    for name in ["bt", "cg", "ft", "lu", "sp"] {
+        let report = checked_report(name, 8);
+        assert!(
+            report.is_clean(),
+            "{} must check clean, got:\n{}",
+            name,
+            report.render()
+        );
+    }
+}
+
+/// Every other shipped application also checks clean.
+#[test]
+fn remaining_apps_check_clean() {
+    for name in [
+        "sweep3d",
+        "smg2000",
+        "pop",
+        "moldy",
+        "gromacs",
+        "masterworker",
+    ] {
+        let report = checked_report(name, 8);
+        assert!(
+            report.is_clean(),
+            "{} must check clean, got:\n{}",
+            name,
+            report.render()
+        );
+    }
+}
+
+/// The master/worker app posts wildcard receives; the checker must see
+/// them (as Info, which keeps the report clean).
+#[test]
+fn masterworker_wildcards_are_visible() {
+    let report = checked_report("masterworker", 4);
+    assert!(
+        report.has_code("WILD-RECV-001"),
+        "expected WILD-RECV-001 info, got:\n{}",
+        report.render()
+    );
+    assert_eq!(report.exit_code(), 0);
+}
+
+/// Build the full artifact set for one small app, run the corruption
+/// closure over the pieces, and return the resulting report.
+fn corrupted_report(
+    corrupt: impl FnOnce(&mut Trace, &mut LogicalTrace, &mut PhaseAnalysis, &mut PhaseTable),
+) -> CheckReport {
+    let app = pas2p_apps::by_name("cg", 8).unwrap();
+    let base = cluster_a();
+    let policy = MappingPolicy::Block;
+    let (mut trace, _) = run_traced(app.as_ref(), &base, policy, InstrumentationModel::default());
+    let mut logical = pas2p_order(&trace);
+    let cfg = SimilarityConfig::default();
+    let mut analysis = extract_phases(&logical, &cfg);
+    let mut table = PhaseTable::from_analysis(&analysis, 0.01, 0, 1);
+    corrupt(&mut trace, &mut logical, &mut analysis, &mut table);
+    let artifacts = Artifacts {
+        trace: Some(&trace),
+        logical: Some(&logical),
+        analysis: Some(&analysis),
+        table: Some(&table),
+        similarity: cfg,
+    };
+    CheckEngine::with_default_rules().run(&artifacts)
+}
+
+/// Dropping a receive from the physical trace leaves its send unmatched.
+#[test]
+fn dropped_recv_trips_p2p_match() {
+    let report = corrupted_report(|trace, _, _, _| {
+        // Remove the first receive of rank 0 and renumber the remainder so
+        // only the matching invariant (not numbering) is violated.
+        let events = &mut trace.procs[0].events;
+        let i = events
+            .iter()
+            .position(|e| e.kind == EventKind::Recv)
+            .expect("cg rank 0 receives");
+        events.remove(i);
+        for (n, e) in events.iter_mut().enumerate() {
+            e.number = n as u64;
+        }
+    });
+    assert!(
+        report.has_code("P2P-MATCH-001"),
+        "expected P2P-MATCH-001, got:\n{}",
+        report.render()
+    );
+    assert!(report.exit_code() > 0);
+}
+
+/// Swapping two ticks of the logical trace places receives before their
+/// sends and breaks program order.
+#[test]
+fn swapped_ticks_trip_model_rules() {
+    let report = corrupted_report(|_, logical, _, _| {
+        let n = logical.ticks.len();
+        assert!(n >= 2);
+        logical.ticks.swap(0, n / 2);
+    });
+    assert!(
+        report.has_code("LT-RECV-001") || report.has_code("MODEL-ORDER-001"),
+        "expected causality or program-order findings, got:\n{}",
+        report.render()
+    );
+    assert_eq!(report.exit_code(), 2);
+}
+
+/// Inflating a phase weight breaks the occurrence bookkeeping and the
+/// PET reconstruction identity.
+#[test]
+fn inflated_weight_trips_signature_rules() {
+    let report = corrupted_report(|_, _, analysis, _| {
+        analysis.phases[0].weight *= 3;
+    });
+    assert!(
+        report.has_code("SIG-W-001"),
+        "expected SIG-W-001, got:\n{}",
+        report.render()
+    );
+    assert_eq!(report.exit_code(), 2);
+}
+
+/// Tampering with a table row's weight desynchronizes it from the
+/// analysis it claims to represent.
+#[test]
+fn tampered_table_trips_sig_rel() {
+    let report = corrupted_report(|_, _, _, table| {
+        table.rows[0].weight += 7;
+    });
+    assert!(
+        report.has_code("SIG-REL-001"),
+        "expected SIG-REL-001, got:\n{}",
+        report.render()
+    );
+}
+
+/// A synthetic deadlock (crossed blocking receives) is detected from the
+/// trace alone.
+#[test]
+fn crossed_receives_trip_wfg_cycle() {
+    let ev =
+        |number: u64, process: u32, kind: EventKind, peer: u32, msg_id: u64, t: f64| TraceEvent {
+            number,
+            process,
+            t_post: t,
+            t_complete: t + 0.1,
+            kind,
+            peer: Some(peer),
+            tag: 0,
+            size: 8,
+            involved: 1,
+            msg_id,
+            comm_id: 0,
+            wildcard: false,
+        };
+    let trace = Trace {
+        nprocs: 2,
+        machine: "synthetic".into(),
+        procs: vec![
+            pas2p_trace::ProcessTrace {
+                process: 0,
+                events: vec![
+                    ev(0, 0, EventKind::Recv, 1, 2, 0.0),
+                    ev(1, 0, EventKind::Send, 1, 1, 1.0),
+                ],
+                end_time: 1.1,
+            },
+            pas2p_trace::ProcessTrace {
+                process: 1,
+                events: vec![
+                    ev(0, 1, EventKind::Recv, 0, 1, 0.0),
+                    ev(1, 1, EventKind::Send, 0, 2, 1.0),
+                ],
+                end_time: 1.1,
+            },
+        ],
+    };
+    let artifacts = Artifacts {
+        trace: Some(&trace),
+        ..Artifacts::empty()
+    };
+    let report = CheckEngine::with_default_rules().run(&artifacts);
+    assert!(
+        report.has_code("WFG-CYCLE-001"),
+        "expected WFG-CYCLE-001, got:\n{}",
+        report.render()
+    );
+    assert_eq!(report.exit_code(), 2);
+}

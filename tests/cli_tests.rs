@@ -211,3 +211,62 @@ fn isa_mismatch_is_reported() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("cannot run on"), "{}", stderr);
 }
+
+#[test]
+fn check_reports_clean_apps_and_json_mode() {
+    let out = cli()
+        .args(["check", "--app", "cg", "--nprocs", "8", "--base", "A"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 error(s)"), "{}", stdout);
+
+    let out = cli()
+        .args(["check", "--app", "cg", "--nprocs", "8", "--base", "A", "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let report: pas2p_check::CheckReport =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert!(report.is_clean());
+}
+
+/// The acceptance scenario: export the logical model, corrupt it, and the
+/// checker exits non-zero naming the violated rule.
+#[test]
+fn check_corrupted_logical_trace_exits_nonzero() {
+    let dir = std::env::temp_dir().join("pas2p-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let model_path = dir.join("cg.model.json");
+    let model_str = model_path.to_str().unwrap();
+
+    let out = cli()
+        .args([
+            "check", "--app", "cg", "--nprocs", "8", "--base", "A", "--logical-out", model_str,
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // The exported model itself checks clean.
+    let out = cli().args(["check", "--logical", model_str]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+
+    // Swap two ticks: receives now precede their sends and per-process
+    // event numbering is no longer monotone.
+    let mut model: pas2p::prelude::LogicalTrace =
+        serde_json::from_str(&std::fs::read_to_string(&model_path).unwrap()).unwrap();
+    let mid = model.ticks.len() / 2;
+    model.ticks.swap(0, mid);
+    std::fs::write(&model_path, serde_json::to_string(&model).unwrap()).unwrap();
+
+    let out = cli().args(["check", "--logical", model_str]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("LT-RECV-001") || stdout.contains("MODEL-ORDER-001"),
+        "expected a named rule violation, got:\n{}",
+        stdout
+    );
+}
