@@ -51,11 +51,11 @@ fn main() {
             app.name(),
             report.prediction.pet,
             report.aet,
-            report.pete_percent,
+            report.pete_or_inf(),
             itanium.name,
             stats.sct
         );
-        assert!(report.pete_percent < 15.0);
+        assert!(report.pete_or_inf() < 15.0);
     }
 
     paper_reference(&[

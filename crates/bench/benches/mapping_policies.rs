@@ -55,7 +55,7 @@ fn main() {
                 .unwrap();
             println!(
                 "{:<26} {:>10.2} {:>10.2} {:>9.2}",
-                label, report.prediction.pet, report.aet, report.pete_percent
+                label, report.prediction.pet, report.aet, report.pete_or_inf()
             );
             results.push((label, report));
         }
@@ -81,11 +81,11 @@ fn main() {
         }
         for (label, r) in &results {
             assert!(
-                r.pete_percent < 12.0,
+                r.pete_or_inf() < 12.0,
                 "{} under '{}': PETE {:.2}%",
                 app.name(),
                 label,
-                r.pete_percent
+                r.pete_or_inf()
             );
         }
         // Oversubscription genuinely hurts, and the signature knows it.

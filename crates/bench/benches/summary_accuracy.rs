@@ -33,10 +33,10 @@ fn main() {
                 "{:<10} {:<12} {:>9.2} {:>12.2}",
                 app.name(),
                 target.name,
-                report.pete_percent,
+                report.pete_or_inf(),
                 report.set_vs_aet_percent
             );
-            petes.push(report.pete_percent);
+            petes.push(report.pete_or_inf());
             set_ratios.push(report.set_vs_aet_percent);
         }
     }
@@ -82,10 +82,10 @@ fn main() {
             .unwrap_or(0);
         println!(
             "{:>8} {:>12} {:>11.2} {:>9.2}",
-            steps, max_weight, report.set_vs_aet_percent, report.pete_percent
+            steps, max_weight, report.set_vs_aet_percent, report.pete_or_inf()
         );
         ratios.push(report.set_vs_aet_percent);
-        assert!(report.pete_percent < 10.0);
+        assert!(report.pete_or_inf() < 10.0);
     }
     assert!(
         ratios.windows(2).all(|w| w[1] < w[0]),

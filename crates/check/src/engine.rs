@@ -128,7 +128,9 @@ pub fn hit_metric(code: &str) -> &'static str {
         "SIG-SIM-002" => "check.hit.sig_sim_002",
         "SIG-REL-001" => "check.hit.sig_rel_001",
         "SIG-COV-001" => "check.hit.sig_cov_001",
+        "SIG-ROW-001" => "check.hit.sig_row_001",
         "PET-EQ-001" => "check.hit.pet_eq_001",
+        "PET-EQ-002" => "check.hit.pet_eq_002",
         _ => "check.hit.other",
     }
 }

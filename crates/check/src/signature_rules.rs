@@ -62,6 +62,32 @@ impl Checker for SignatureRules {
         check_pet_identity(analysis, out);
         if let Some(table) = artifacts.table {
             check_table_consistency(analysis, table, out);
+            check_table_rows(table, out);
+        }
+    }
+}
+
+/// SIG-ROW-001: a table row must carry at least one measure window — the
+/// signature constructor has no endpoint to detect otherwise and skips
+/// the row. `from_analysis` never builds such a row, so one can only come
+/// from a deserialized or hand-edited table.
+fn check_table_rows(table: &pas2p_phases::PhaseTable, out: &mut Vec<Diagnostic>) {
+    for row in &table.rows {
+        if row.windows.is_empty() {
+            out.push(
+                Diagnostic::new(
+                    "SIG-ROW-001",
+                    Severity::Error,
+                    Location::phase(row.phase_id),
+                    format!(
+                        "table row for phase {} has no measure windows",
+                        row.phase_id
+                    ),
+                )
+                .with_suggestion(
+                    "the constructor will skip this row; rebuild the table from the analysis",
+                ),
+            );
         }
     }
 }
@@ -267,8 +293,29 @@ fn check_coverage(analysis: &PhaseAnalysis, artifacts: &Artifacts<'_>, out: &mut
 
 /// PET-EQ-001: the reconstruction identity. Occurrences tile the trace,
 /// so Σ weight × mean duration over *all* phases equals the AET.
+///
+/// PET-EQ-002: a degenerate AET (≤ 0) with a non-trivial phase analysis.
+/// The identity cannot be checked and any prediction-error percentage
+/// (PETE) over this run is undefined — `report_from` yields
+/// `pete_percent = None` rather than a fake 0 %.
 fn check_pet_identity(analysis: &PhaseAnalysis, out: &mut Vec<Diagnostic>) {
     if analysis.aet <= 0.0 {
+        if !analysis.phases.is_empty() {
+            out.push(
+                Diagnostic::new(
+                    "PET-EQ-002",
+                    Severity::Warning,
+                    Location::none(),
+                    format!(
+                        "AET is {:.6}s but the analysis has {} phase(s); the Eq-1 \
+                         identity and PETE are undefined over this run",
+                        analysis.aet,
+                        analysis.phases.len()
+                    ),
+                )
+                .with_suggestion("a zero-duration run cannot anchor a prediction error"),
+            );
+        }
         return;
     }
     let reconstructed = analysis.reconstructed_aet();
@@ -419,6 +466,32 @@ mod tests {
         table.rows.clear();
         let ds = run(&a, Some(&table));
         assert!(ds.iter().any(|d| d.code == "SIG-REL-001"));
+    }
+
+    #[test]
+    fn empty_windows_row_is_flagged() {
+        let a = tiny_analysis();
+        let mut table = PhaseTable::from_analysis(&a, 0.01, 0, 1);
+        table.rows[0].windows.clear();
+        let ds = run(&a, Some(&table));
+        assert!(ds.iter().any(|d| d.code == "SIG-ROW-001"), "{ds:?}");
+    }
+
+    #[test]
+    fn degenerate_aet_with_phases_is_flagged() {
+        let mut a = tiny_analysis();
+        a.aet = 0.0;
+        let ds = run(&a, None);
+        assert!(ds.iter().any(|d| d.code == "PET-EQ-002"), "{ds:?}");
+        // ...but an empty analysis with aet 0 stays clean.
+        let empty = PhaseAnalysis {
+            nprocs: 1,
+            phases: vec![],
+            aet: 0.0,
+            analysis_seconds: 0.0,
+        };
+        let ds = run(&empty, None);
+        assert!(ds.iter().all(|d| d.code != "PET-EQ-002"), "{ds:?}");
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Batch analysis: run many app×workload analyses over a bounded worker
+//! pool.
+//!
+//! The driver exists for the paper's experimental sweeps (Tables 5–9):
+//! one Stage-A analysis per application/workload pair, all independent of
+//! each other. Jobs are claimed from a shared cursor by scoped worker
+//! threads and every result is written back into the slot of its
+//! submission index, so the report order — and, because each analysis is
+//! itself deterministic, the report content — is identical for any worker
+//! count and any claiming order.
+
+use crate::pipeline::{Analysis, Pas2p};
+use pas2p_machine::{MachineModel, MappingPolicy};
+use pas2p_signature::MpiApp;
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One unit of batch work: analyze `app` on `base` under `policy`.
+pub struct BatchJob {
+    /// The application under study.
+    pub app: Box<dyn MpiApp>,
+    /// The base machine the analysis runs on.
+    pub base: MachineModel,
+    /// Process-to-node mapping policy.
+    pub policy: MappingPolicy,
+}
+
+impl BatchJob {
+    /// A job with the default block mapping.
+    pub fn new(app: Box<dyn MpiApp>, base: MachineModel) -> BatchJob {
+        BatchJob {
+            app,
+            base,
+            policy: MappingPolicy::Block,
+        }
+    }
+}
+
+/// One job's outcome, in submission order.
+#[derive(Debug, Clone, Serialize)]
+pub struct BatchResult {
+    /// Submission index of the job this result belongs to.
+    pub index: usize,
+    /// The full Stage-A analysis.
+    pub analysis: Analysis,
+    /// Host wall-clock seconds this job took on its worker.
+    pub job_seconds: f64,
+}
+
+/// The batch driver's output: every job's result plus run-level stats.
+#[derive(Debug, Clone, Serialize)]
+pub struct BatchReport {
+    /// Per-job results, in submission order regardless of worker count.
+    pub results: Vec<BatchResult>,
+    /// Worker threads the batch ran with.
+    pub workers: usize,
+    /// Host wall-clock seconds for the whole batch.
+    pub wall_seconds: f64,
+}
+
+impl BatchReport {
+    /// One summary line per job (Table 8 columns: events, phases, TFAT).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.results {
+            let a = &r.analysis;
+            out.push_str(&format!(
+                "{:<12} {:>3}p {:>8} events {:>4} phases ({:>3} relevant) \
+                 TFAT {:.3}s AET {:.3}s\n",
+                a.app_name,
+                a.nprocs,
+                a.trace_events,
+                a.total_phases(),
+                a.relevant_phases(),
+                a.tfat_seconds,
+                a.aet_instrumented,
+            ));
+        }
+        out.push_str(&format!(
+            "{} job(s) on {} worker(s), {:.3}s wall\n",
+            self.results.len(),
+            self.workers,
+            self.wall_seconds
+        ));
+        out
+    }
+}
+
+/// Resolve the worker count: an explicit request is clamped to the job
+/// count; `None` means one worker per available core (again clamped).
+pub fn batch_workers(requested: Option<usize>, jobs: usize) -> usize {
+    requested
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .clamp(1, jobs.max(1))
+}
+
+/// Analyze every job over a pool of `workers` scoped threads.
+///
+/// Workers claim jobs through a shared atomic cursor — no job is run
+/// twice, no job is skipped — and deposit results into the slot of the
+/// job's submission index. The analyses themselves are deterministic, so
+/// the returned report is independent of the worker count and of which
+/// worker happened to claim which job.
+pub fn run_batch(pas2p: &Pas2p, jobs: Vec<BatchJob>, workers: Option<usize>) -> BatchReport {
+    let workers = batch_workers(workers, jobs.len());
+    let mut st = pas2p_obs::stage("batch");
+    st.items(jobs.len() as u64);
+    if pas2p_obs::enabled() {
+        pas2p_obs::counter("batch.jobs").add(jobs.len() as u64);
+        pas2p_obs::gauge("pipeline.par.workers").set(workers as f64);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<BatchResult>>> = Mutex::new((0..jobs.len()).map(|_| None).collect());
+    let jobs = &jobs;
+    let run_one = |index: usize| {
+        let job = &jobs[index];
+        let mut st = pas2p_obs::stage("batch.job");
+        let started = std::time::Instant::now();
+        let analysis = pas2p.analyze(job.app.as_ref(), &job.base, job.policy.clone());
+        st.items(analysis.trace_events as u64);
+        st.finish();
+        BatchResult {
+            index,
+            analysis,
+            job_seconds: started.elapsed().as_secs_f64(),
+        }
+    };
+
+    if workers > 1 {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= jobs.len() {
+                        break;
+                    }
+                    let result = run_one(index);
+                    slots.lock()[index] = Some(result);
+                });
+            }
+        });
+    } else {
+        for index in 0..jobs.len() {
+            let result = run_one(index);
+            slots.lock()[index] = Some(result);
+        }
+    }
+
+    let results: Vec<BatchResult> = slots
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every claimed job deposits a result"))
+        .collect();
+    let wall_seconds = st.finish();
+    BatchReport {
+        results,
+        workers,
+        wall_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas2p_machine::cluster_a;
+
+    fn jobs_of(names: &[&str]) -> Vec<BatchJob> {
+        names
+            .iter()
+            .map(|n| {
+                BatchJob::new(
+                    pas2p_apps::by_name(n, 8).expect("catalog app"),
+                    cluster_a(),
+                )
+            })
+            .collect()
+    }
+
+    /// The determinism surface of one result: everything except host
+    /// timing and the metrics snapshot.
+    fn key(r: &BatchResult) -> (usize, String, usize, usize, usize) {
+        (
+            r.index,
+            r.analysis.app_name.clone(),
+            r.analysis.trace_events,
+            r.analysis.total_phases(),
+            r.analysis.relevant_phases(),
+        )
+    }
+
+    #[test]
+    fn batch_results_are_worker_count_invariant() {
+        let pas2p = Pas2p::default();
+        let names = ["cg", "moldy", "masterworker", "ft"];
+        let baseline = run_batch(&pas2p, jobs_of(&names), Some(1));
+        assert_eq!(baseline.results.len(), names.len());
+        for (i, r) in baseline.results.iter().enumerate() {
+            assert_eq!(r.index, i, "results must be in submission order");
+            assert_eq!(r.analysis.app_name.to_lowercase(), names[i]);
+        }
+        for workers in [2, 3, 8] {
+            let par = run_batch(&pas2p, jobs_of(&names), Some(workers));
+            assert_eq!(par.workers, workers.min(names.len()));
+            let a: Vec<_> = baseline.results.iter().map(key).collect();
+            let b: Vec<_> = par.results.iter().map(key).collect();
+            assert_eq!(a, b, "worker count {workers} changed the batch output");
+        }
+    }
+
+    #[test]
+    fn batch_results_are_submission_order_invariant() {
+        let pas2p = Pas2p::default();
+        let forward = run_batch(&pas2p, jobs_of(&["cg", "moldy"]), Some(2));
+        let reverse = run_batch(&pas2p, jobs_of(&["moldy", "cg"]), Some(2));
+        // Same jobs, opposite submission order: each result follows its
+        // job, so the reports are mirror images of each other.
+        let body = |r: &BatchResult| {
+            let k = key(r);
+            (k.1, k.2, k.3, k.4)
+        };
+        assert_eq!(body(&forward.results[0]), body(&reverse.results[1]));
+        assert_eq!(body(&forward.results[1]), body(&reverse.results[0]));
+    }
+
+    #[test]
+    fn batch_workers_clamps() {
+        assert_eq!(batch_workers(Some(16), 4), 4);
+        assert_eq!(batch_workers(Some(0), 4), 1);
+        assert_eq!(batch_workers(Some(2), 0), 1);
+        assert!(batch_workers(None, 100) >= 1);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let report = run_batch(&Pas2p::default(), Vec::new(), None);
+        assert!(report.results.is_empty());
+        assert_eq!(report.workers, 1);
+        assert!(report.render().contains("0 job(s)"));
+    }
+}

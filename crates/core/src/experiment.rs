@@ -87,7 +87,7 @@ pub fn prediction_row(
         set: report.prediction.set,
         set_vs_aet: report.set_vs_aet_percent,
         pet: report.prediction.pet,
-        pete: report.pete_percent,
+        pete: report.pete_or_inf(),
         aet: report.aet,
     }
 }

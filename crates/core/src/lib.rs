@@ -28,16 +28,18 @@
 //! let (signature, _stats) = pas2p.build_signature(&app, &analysis, &base, MappingPolicy::Block);
 //! // Stage B: execute the signature on the target machine.
 //! let report = pas2p.validate(&app, &signature, &target, MappingPolicy::Block).unwrap();
-//! assert!(report.pete_percent < 15.0, "PETE {}%", report.pete_percent);
+//! assert!(report.pete_or_inf() < 15.0, "PETE {}%", report.pete_or_inf());
 //! ```
 
 #![forbid(unsafe_code)]
 
 pub mod baselines;
+pub mod batch;
 pub mod experiment;
 pub mod pipeline;
 pub mod workload;
 
+pub use batch::{run_batch, BatchJob, BatchReport, BatchResult};
 pub use pipeline::{Analysis, Pas2p};
 
 /// Convenient re-exports of the whole PAS2P stack.

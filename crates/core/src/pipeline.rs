@@ -164,13 +164,11 @@ impl Pas2p {
         st.items(trace.total_events() as u64);
         let order_seconds = st.finish();
 
-        let mut st = pas2p_obs::stage("extract_phases");
+        // `extract_phases` records its own stage profile and returns the
+        // same profiler reading as `analysis_seconds`, so TFAT and the
+        // analysis timing are a single measurement and cannot diverge.
         let analysis = extract_phases(&logical, &self.similarity);
-        st.items(logical.len() as u64);
-        let extract_seconds = st.finish();
-        // TFAT is exactly the model-build + phase-extraction window the
-        // seed measured with a bare Instant; now sourced from the profiler.
-        let tfat_seconds = order_seconds + extract_seconds;
+        let tfat_seconds = order_seconds + analysis.analysis_seconds;
 
         let mut st = pas2p_obs::stage("table");
         let table = PhaseTable::from_analysis(
@@ -267,8 +265,13 @@ impl Pas2p {
     ) -> Result<ValidationReport, ExecError> {
         let _span = pas2p_obs::span("pas2p.pipeline", "validate");
         let prediction = self.predict(app, signature, target, policy.clone())?;
-        let mut st = pas2p_obs::stage("predict");
+        // The whole-application AET run is profiled under its own name;
+        // the `predict` stage covers only the actual prediction.
+        let mut st = pas2p_obs::stage("run_plain");
         let aet = run_plain(app, target, policy).makespan;
+        st.items(1);
+        st.finish();
+        let mut st = pas2p_obs::stage("predict");
         let report = predict::report_from(prediction, aet);
         st.items(1);
         st.finish();
@@ -279,7 +282,7 @@ impl Pas2p {
             &[
                 ("pet", format!("{:.6}", report.prediction.pet)),
                 ("aet", format!("{aet:.6}")),
-                ("pete_percent", format!("{:.3}", report.pete_percent)),
+                ("pete_percent", format!("{:.3}", report.pete_or_inf())),
             ],
         );
         Ok(report)

@@ -19,8 +19,21 @@
 //! event, producing the final [`LogicalTrace`].
 
 use crate::logical::{assemble, LogicalEvent, LogicalTrace};
-use pas2p_trace::{EventKind, Trace, TraceEvent};
+use pas2p_trace::{EventKind, ProcessTrace, Trace, TraceEvent};
 use std::collections::{HashMap, VecDeque};
+
+/// Traces below this many events stay single-threaded in the per-rank
+/// prep: thread spawns cost more than the rank loops.
+const PAR_MIN_EVENTS: usize = 4096;
+
+/// Workers for the per-rank prep: one per available core for large
+/// traces, 1 (sequential) below [`PAR_MIN_EVENTS`].
+fn par_workers(total_events: usize) -> usize {
+    if total_events < PAR_MIN_EVENTS {
+        return 1;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
 
 /// Which logical-clock rule the engine applies to receives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,8 +133,17 @@ pub(crate) fn try_order_with_rule(
     trace: &Trace,
     rule: Rule,
 ) -> Result<(LogicalTrace, Vec<(u32, u64)>), ModelError> {
+    try_order_with_rule_workers(trace, rule, par_workers(trace.total_events()))
+}
+
+pub(crate) fn try_order_with_rule_workers(
+    trace: &Trace,
+    rule: Rule,
+    workers: usize,
+) -> Result<(LogicalTrace, Vec<(u32, u64)>), ModelError> {
     let nprocs = trace.nprocs;
     let n = nprocs as usize;
+    let workers = workers.max(1).min(n.max(1));
 
     // Per-event assigned LTs, indexed [process][event index].
     let mut lt: Vec<Vec<Option<u64>>> = trace
@@ -132,14 +154,7 @@ pub(crate) fn try_order_with_rule(
     // Next free logical time per process.
     let mut proc_next: Vec<u64> = vec![0; n];
     // Where each message's receive lives: msg_id → (process, index).
-    let mut recv_index: HashMap<u64, (usize, usize)> = HashMap::new();
-    for (p, pt) in trace.procs.iter().enumerate() {
-        for (i, e) in pt.events.iter().enumerate() {
-            if e.kind == EventKind::Recv && e.msg_id != 0 {
-                recv_index.insert(e.msg_id, (p, i));
-            }
-        }
-    }
+    let recv_index = build_recv_index(trace, workers);
 
     // The processing queue: (process, event index).
     let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
@@ -266,13 +281,8 @@ pub(crate) fn try_order_with_rule(
     }
     let mut lt = resolved;
 
-    let permuted = if rule == Rule::Pas2p {
-        permute_recvs(trace, &mut lt)
-    } else {
-        0
-    };
-    clamp_program_order(&mut lt);
-    let (logical, splits) = split_ticks(trace, &lt);
+    let (permuted, splits, keyed) = finish_ranks(trace, &mut lt, rule, workers);
+    let logical = assemble(trace.nprocs, keyed);
     if pas2p_obs::enabled() {
         pas2p_obs::counter("model.events_ordered").add(log.len() as u64);
         pas2p_obs::counter("model.deferred_recvs").add(deferred);
@@ -280,8 +290,118 @@ pub(crate) fn try_order_with_rule(
         pas2p_obs::counter("model.recv_permutations").add(permuted);
         pas2p_obs::counter("model.tick_splits").add(splits);
         pas2p_obs::counter("model.ticks").add(logical.len() as u64);
+        if workers > 1 {
+            pas2p_obs::gauge("model.par.workers").set(workers as f64);
+        }
     }
     Ok((logical, log))
+}
+
+/// Build the msg_id → receive location index. For large traces the
+/// per-rank scans run on a scoped worker pool; partial maps merge in rank
+/// order, preserving the sequential last-wins semantics for duplicate
+/// msg_ids.
+fn build_recv_index(trace: &Trace, workers: usize) -> HashMap<u64, (usize, usize)> {
+    let index_of = |base: usize, procs: &[ProcessTrace]| {
+        let mut m: HashMap<u64, (usize, usize)> = HashMap::new();
+        for (dp, pt) in procs.iter().enumerate() {
+            for (i, e) in pt.events.iter().enumerate() {
+                if e.kind == EventKind::Recv && e.msg_id != 0 {
+                    m.insert(e.msg_id, (base + dp, i));
+                }
+            }
+        }
+        m
+    };
+    let n = trace.procs.len();
+    if workers <= 1 || n <= 1 {
+        return index_of(0, &trace.procs);
+    }
+    let chunk = n.div_ceil(workers);
+    let partials: Vec<HashMap<u64, (usize, usize)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = trace
+            .procs
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, procs)| scope.spawn(move || index_of(ci * chunk, procs)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("recv-index worker"))
+            .collect()
+    });
+    let mut recv_index = HashMap::with_capacity(partials.iter().map(HashMap::len).sum());
+    for m in partials {
+        recv_index.extend(m);
+    }
+    recv_index
+}
+
+/// The per-rank post-processing after the global queue merge: receive-LT
+/// permutation, program-order clamping and tick-key construction. Every
+/// rank is independent here, so the ranks fan out over a scoped worker
+/// pool; results concatenate in rank order, making the output identical
+/// to the sequential pass for any worker count.
+#[allow(clippy::type_complexity)]
+fn finish_ranks(
+    trace: &Trace,
+    lt: &mut [Vec<u64>],
+    rule: Rule,
+    workers: usize,
+) -> (u64, u64, Vec<(u64, u64, LogicalEvent)>) {
+    let n = trace.procs.len();
+    let results: Vec<(u64, u64, Vec<(u64, u64, LogicalEvent)>)> = if workers > 1 && n > 1 {
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = lt
+                .chunks_mut(chunk)
+                .zip(trace.procs.chunks(chunk))
+                .map(|(lts_chunk, procs_chunk)| {
+                    scope.spawn(move || {
+                        lts_chunk
+                            .iter_mut()
+                            .zip(procs_chunk)
+                            .map(|(lts, pt)| finish_rank(pt, lts, rule))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("rank prep worker"))
+                .collect()
+        })
+    } else {
+        lt.iter_mut()
+            .zip(&trace.procs)
+            .map(|(lts, pt)| finish_rank(pt, lts, rule))
+            .collect()
+    };
+    let mut permuted = 0u64;
+    let mut splits = 0u64;
+    let mut keyed = Vec::with_capacity(trace.total_events());
+    for (m, sp, k) in results {
+        permuted += m;
+        splits += sp;
+        keyed.extend(k);
+    }
+    (permuted, splits, keyed)
+}
+
+/// One rank's post-processing; see [`finish_ranks`].
+fn finish_rank(
+    pt: &ProcessTrace,
+    lts: &mut [u64],
+    rule: Rule,
+) -> (u64, u64, Vec<(u64, u64, LogicalEvent)>) {
+    let permuted = if rule == Rule::Pas2p {
+        permute_rank_recvs(pt, lts)
+    } else {
+        0
+    };
+    clamp_rank_program_order(lts);
+    let (splits, keyed) = key_rank_ticks(pt, lts);
+    (permuted, splits, keyed)
 }
 
 fn push_next(queue: &mut VecDeque<(usize, usize)>, trace: &Trace, p: usize, i: usize) {
@@ -301,82 +421,76 @@ fn send_lt_of(trace: &Trace, lt: &[Vec<Option<u64>>], recv: &TraceEvent) -> Opti
     lt[src][idx]
 }
 
-/// Reassign each process's receive LTs in ascending program order
+/// Reassign one process's receive LTs in ascending program order
 /// (Fig 4 → Fig 5: "a permutation only inside the LTRecvs … so that the
 /// reception events are in ascending order"). Returns how many receive
 /// LTs actually moved.
-fn permute_recvs(trace: &Trace, lt: &mut [Vec<u64>]) -> u64 {
+fn permute_rank_recvs(pt: &ProcessTrace, lts: &mut [u64]) -> u64 {
     let mut moved = 0u64;
-    for (p, pt) in trace.procs.iter().enumerate() {
-        let recv_idx: Vec<usize> = pt
-            .events
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.kind == EventKind::Recv)
-            .map(|(i, _)| i)
-            .collect();
-        let mut lts: Vec<u64> = recv_idx.iter().map(|&i| lt[p][i]).collect();
-        lts.sort_unstable();
-        for (&i, &t) in recv_idx.iter().zip(&lts) {
-            if lt[p][i] != t {
-                moved += 1;
-            }
-            lt[p][i] = t;
+    let recv_idx: Vec<usize> = pt
+        .events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.kind == EventKind::Recv)
+        .map(|(i, _)| i)
+        .collect();
+    let mut recv_lts: Vec<u64> = recv_idx.iter().map(|&i| lts[i]).collect();
+    recv_lts.sort_unstable();
+    for (&i, &t) in recv_idx.iter().zip(&recv_lts) {
+        if lts[i] != t {
+            moved += 1;
         }
+        lts[i] = t;
     }
     moved
 }
 
 /// Program order must survive on the tick axis: clamp each event's LT to
 /// at least its predecessor's (ties are separated by tick splitting).
-fn clamp_program_order(lt: &mut [Vec<u64>]) {
-    for proc_lts in lt.iter_mut() {
-        for i in 1..proc_lts.len() {
-            if proc_lts[i] < proc_lts[i - 1] {
-                proc_lts[i] = proc_lts[i - 1];
-            }
+fn clamp_rank_program_order(lts: &mut [u64]) {
+    for i in 1..lts.len() {
+        if lts[i] < lts[i - 1] {
+            lts[i] = lts[i - 1];
         }
     }
 }
 
 /// "There can only be one event for each process at a particular LT":
 /// events sharing (process, LT) are fanned out to sub-ticks in program
-/// order, then the (LT, sub) pairs are densely renumbered. Also returns
-/// how many events needed a sub-tick.
-fn split_ticks(trace: &Trace, lt: &[Vec<u64>]) -> (LogicalTrace, u64) {
+/// order; [`assemble`] densely renumbers the (LT, sub) pairs. Also
+/// returns how many events needed a sub-tick.
+fn key_rank_ticks(pt: &ProcessTrace, lts: &[u64]) -> (u64, Vec<(u64, u64, LogicalEvent)>) {
     let mut splits = 0u64;
-    let mut keyed = Vec::with_capacity(trace.total_events());
-    for (p, pt) in trace.procs.iter().enumerate() {
-        let mut prev_lt = u64::MAX;
-        let mut sub = 0u64;
-        for (i, e) in pt.events.iter().enumerate() {
-            let t = lt[p][i];
-            sub = if t == prev_lt { sub + 1 } else { 0 };
-            if sub > 0 {
-                splits += 1;
-            }
-            prev_lt = t;
-            keyed.push((
-                t,
-                sub,
-                LogicalEvent {
-                    process: e.process,
-                    number: e.number,
-                    kind: e.kind,
-                    peer: e.peer,
-                    size: e.size,
-                    involved: e.involved,
-                    msg_id: e.msg_id,
-                    comm_id: e.comm_id,
-                    compute_before: pt.compute_before(i),
-                    duration: (e.t_complete - e.t_post).max(0.0),
-                    t_post: e.t_post,
-                    t_complete: e.t_complete,
-                },
-            ));
+    let mut keyed = Vec::with_capacity(pt.events.len());
+    let mut prev_lt = u64::MAX;
+    let mut sub = 0u64;
+    for (i, e) in pt.events.iter().enumerate() {
+        let t = lts[i];
+        sub = if t == prev_lt { sub + 1 } else { 0 };
+        if sub > 0 {
+            splits += 1;
         }
+        prev_lt = t;
+        keyed.push((
+            t,
+            sub,
+            LogicalEvent {
+                process: e.process,
+                number: e.number,
+                kind: e.kind,
+                peer: e.peer,
+                size: e.size,
+                involved: e.involved,
+                msg_id: e.msg_id,
+                comm_id: e.comm_id,
+                compute_before: pt.compute_before(i),
+                duration: (e.t_complete - e.t_post).max(0.0),
+                t_post: e.t_post,
+                t_complete: e.t_complete,
+            },
+        ));
     }
-    (assemble(trace.nprocs, keyed), splits)
+    (splits, keyed)
 }
 
 #[cfg(test)]
@@ -625,5 +739,56 @@ mod tests {
         let t = trace_of(vec![vec![], vec![]]);
         let logical = pas2p_order(&t);
         assert!(logical.is_empty());
+    }
+
+    /// The per-rank prep (recv index, permutation, clamping, tick keying)
+    /// must produce the same logical trace and dequeue log for any worker
+    /// count — parallelism is an implementation detail, not a semantics
+    /// knob.
+    #[test]
+    fn rank_prep_is_worker_count_invariant() {
+        // Six ranks in a ring: each sends two messages to the next rank
+        // and receives two from the previous one — deliberately received
+        // out of order so the permutation and clamping paths both run —
+        // then everybody joins a barrier-like collective.
+        let nprocs = 6u32;
+        let msg = |src: u32, k: u64| 1000 * (src as u64 + 1) + k;
+        let procs: Vec<Vec<TraceEvent>> = (0..nprocs)
+            .map(|p| {
+                let next = (p + 1) % nprocs;
+                let prev = (p + nprocs - 1) % nprocs;
+                let mut events = vec![
+                    ev(0, p, EventKind::Send, Some(next), msg(p, 0), 0, 1, 0.0),
+                    ev(1, p, EventKind::Send, Some(next), msg(p, 1), 0, 1, 1.0),
+                    // Receive the SECOND message first (network reordering).
+                    ev(2, p, EventKind::Recv, Some(prev), msg(prev, 1), 0, 1, 2.0),
+                    ev(3, p, EventKind::Recv, Some(prev), msg(prev, 0), 0, 1, 3.0),
+                ];
+                events.push(ev(
+                    4,
+                    p,
+                    EventKind::Coll(CollClass::Allreduce),
+                    None,
+                    0,
+                    7,
+                    nprocs,
+                    4.0,
+                ));
+                events
+            })
+            .collect();
+        let t = trace_of(procs);
+        for rule in [Rule::Pas2p, Rule::Lamport] {
+            let baseline =
+                try_order_with_rule_workers(&t, rule, 1).expect("sequential ordering succeeds");
+            for workers in [2, 3, 4, 8] {
+                let par = try_order_with_rule_workers(&t, rule, workers)
+                    .expect("parallel ordering succeeds");
+                assert_eq!(
+                    baseline, par,
+                    "worker count {workers} changed the {rule:?} ordering output"
+                );
+            }
+        }
     }
 }

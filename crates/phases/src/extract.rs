@@ -1,11 +1,25 @@
 //! The phase-extraction algorithm (paper §3.3, Fig 6, Appendix B).
+//!
+//! Extraction runs in two stages. A sequential *repetition scan* cuts the
+//! logical trace into candidate windows (steps 1–4). A *merge loop* then
+//! dedupes each candidate against the known phases by similarity (step 5),
+//! in discovery order. The candidate×known-phase comparisons inside the
+//! merge are the TFAT hot loop (Table 8) and can fan out over a worker
+//! pool ([`SimilarityConfig::parallelism`]): the known phases are chunked
+//! across workers, each worker reports its chunk-local first match, and
+//! the merge takes the globally smallest matching index — exactly the
+//! phase the sequential first-match walk would have picked. Output is
+//! therefore byte-identical to the sequential path for any worker count.
 
 use crate::sig::{CellSig, SimilarityConfig};
 use pas2p_model::LogicalTrace;
 use pas2p_trace::EventKind;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::time::Instant;
+use std::sync::Arc;
+
+/// A phase pattern: `pattern[tick][process]` cells.
+pub type Pattern = Vec<Vec<Option<CellSig>>>;
 
 /// One concrete occurrence of a phase in the logical trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -27,7 +41,9 @@ pub struct Occurrence {
 }
 
 impl Occurrence {
-    /// Wall-clock span of this occurrence on the base machine.
+    /// Wall-clock span of this occurrence on the base machine. Negative
+    /// spans (a boundary-ordering bug upstream) clamp to zero; the clamp
+    /// is counted under `extract.negative_span` when one is constructed.
     pub fn duration(&self) -> f64 {
         (self.t_end - self.t_start).max(0.0)
     }
@@ -40,7 +56,7 @@ pub struct Phase {
     /// Phase identifier (dense, in discovery order).
     pub id: u32,
     /// Representative pattern: `pattern[tick][process]`.
-    pub pattern: Vec<Vec<Option<CellSig>>>,
+    pub pattern: Pattern,
     /// Repetition count — the paper's *weight*.
     pub weight: u64,
     /// All matched occurrences, in trace order.
@@ -80,7 +96,7 @@ impl Phase {
 }
 
 /// Result of running phase extraction over a logical trace.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PhaseAnalysis {
     /// Number of processes.
     pub nprocs: u32,
@@ -90,7 +106,9 @@ pub struct PhaseAnalysis {
     /// boundary), seconds.
     pub aet: f64,
     /// Host wall-clock seconds the extraction took — a component of the
-    /// paper's trace-file analysis time (TFAT, Table 8).
+    /// paper's trace-file analysis time (TFAT, Table 8). Sourced from the
+    /// obs stage profiler (`extract_phases` stage), so this value and the
+    /// recorded stage profile cannot diverge.
     pub analysis_seconds: f64,
 }
 
@@ -130,10 +148,13 @@ impl PhaseAnalysis {
     }
 }
 
+/// Below this many known phases a candidate is matched inline on the
+/// calling thread: chunk dispatch costs more than the scan itself.
+const PAR_MIN_KNOWN: usize = 8;
+
 /// Extract phases from a logical trace (the paper's six-step algorithm).
 pub fn extract_phases(lt: &LogicalTrace, cfg: &SimilarityConfig) -> PhaseAnalysis {
-    let started = Instant::now();
-    let n = lt.nprocs as usize;
+    let mut st = pas2p_obs::stage("extract_phases");
     let ticks = &lt.ticks;
 
     // Global boundary times: boundary[k] = latest completion among ticks
@@ -149,23 +170,75 @@ pub fn extract_phases(lt: &LogicalTrace, cfg: &SimilarityConfig) -> PhaseAnalysi
         boundary.push(m);
     }
 
+    let windows = scan_windows(lt);
+
+    let mut merger = Merger {
+        lt,
+        cfg,
+        nprocs: lt.nprocs as usize,
+        boundary,
+        running_counts: vec![0u64; lt.nprocs as usize],
+        phases: Vec::new(),
+        known: Vec::new(),
+        comparisons: 0,
+        dedupe_hits: 0,
+        par_compares: 0,
+        negative_spans: 0,
+    };
+
+    let workers = cfg.effective_parallelism();
+    if workers > 1 && !windows.is_empty() {
+        merger.merge_parallel(&windows, workers);
+    } else {
+        for &(s, e) in &windows {
+            let (pattern, occurrence) = merger.candidate(s, e);
+            let hit = merger.first_match(&pattern);
+            merger.commit(hit, pattern, occurrence);
+        }
+    }
+
+    let aet = *merger.boundary.last().unwrap();
+    st.items(ticks.len() as u64);
+    let analysis = PhaseAnalysis {
+        nprocs: lt.nprocs,
+        phases: merger.phases,
+        aet,
+        analysis_seconds: st.finish(),
+    };
+    if pas2p_obs::enabled() {
+        pas2p_obs::counter("phases.ticks_scanned").add(ticks.len() as u64);
+        pas2p_obs::counter("phases.unique").add(analysis.total_phases() as u64);
+        pas2p_obs::counter("phases.occurrences")
+            .add(analysis.phases.iter().map(|p| p.weight).sum());
+        pas2p_obs::counter("phases.similarity_comparisons").add(merger.comparisons);
+        pas2p_obs::counter("phases.dedupe_hits").add(merger.dedupe_hits);
+        if merger.par_compares > 0 {
+            pas2p_obs::counter("extract.par.compares").add(merger.par_compares);
+        }
+        if merger.negative_spans > 0 {
+            pas2p_obs::counter("extract.negative_span").add(merger.negative_spans);
+        }
+        pas2p_obs::gauge("phases.analysis_seconds").set(analysis.analysis_seconds);
+    }
+    analysis
+}
+
+/// Steps 1–4: the sequential repetition scan. Grows a window from
+/// `start`, cutting when a communication type repeats within a process,
+/// and returns the candidate windows `[s, e)` in trace order.
+fn scan_windows(lt: &LogicalTrace) -> Vec<(usize, usize)> {
     /// Repetition key of an event within the growing window (process plus
     /// the communication-type triple of `CellSig::repetition_key`).
     type RepKey = (u32, (EventKind, Option<i64>, u64));
 
-    let mut state = Extractor {
-        lt,
-        cfg,
-        nprocs: n,
-        boundary,
-        running_counts: vec![0u64; n],
-        phases: Vec::new(),
-        comparisons: 0,
-        dedupe_hits: 0,
+    let ticks = &lt.ticks;
+    let mut windows = Vec::new();
+    let mut push = |s: usize, e: usize| {
+        if s < e {
+            windows.push((s, e));
+        }
     };
 
-    // The scan: grow a window from `start`, cutting when a communication
-    // type repeats within a process.
     let mut start = 0usize;
     let mut seen: HashMap<RepKey, usize> = HashMap::new();
     #[allow(clippy::needless_range_loop)] // tick index doubles as boundary id
@@ -185,11 +258,11 @@ pub fn extract_phases(lt: &LogicalTrace, cfg: &SimilarityConfig) -> PhaseAnalysi
                 // Step 4a: the repeated event's first occurrence sits at
                 // the Startpoint — the candidate closes just before the
                 // repetition.
-                state.save(start, t);
+                push(start, t);
             } else {
                 // Step 4b: split into phase a and phase b.
-                state.save(start, first);
-                state.save(first, t);
+                push(start, first);
+                push(first, t);
             }
             start = t;
             seen.clear();
@@ -199,30 +272,29 @@ pub fn extract_phases(lt: &LogicalTrace, cfg: &SimilarityConfig) -> PhaseAnalysi
             seen.entry(key).or_insert(t);
         }
     }
-    if start < ticks.len() {
-        state.save(start, ticks.len());
-    }
-
-    let aet = *state.boundary.last().unwrap();
-    let analysis = PhaseAnalysis {
-        nprocs: lt.nprocs,
-        phases: state.phases,
-        aet,
-        analysis_seconds: started.elapsed().as_secs_f64(),
-    };
-    if pas2p_obs::enabled() {
-        pas2p_obs::counter("phases.ticks_scanned").add(ticks.len() as u64);
-        pas2p_obs::counter("phases.unique").add(analysis.total_phases() as u64);
-        pas2p_obs::counter("phases.occurrences")
-            .add(analysis.phases.iter().map(|p| p.weight).sum());
-        pas2p_obs::counter("phases.similarity_comparisons").add(state.comparisons);
-        pas2p_obs::counter("phases.dedupe_hits").add(state.dedupe_hits);
-        pas2p_obs::gauge("phases.analysis_seconds").set(analysis.analysis_seconds);
-    }
-    analysis
+    push(start, ticks.len());
+    windows
 }
 
-struct Extractor<'a> {
+/// A unit of matching work: compare one candidate against a contiguous
+/// chunk of the known phases starting at global index `base`.
+struct MatchTask {
+    round: usize,
+    base: usize,
+    known: Vec<Arc<Pattern>>,
+    candidate: Arc<Pattern>,
+}
+
+/// A worker's answer for one chunk: the global index of the chunk-local
+/// first match (if any) and how many comparisons the scan performed.
+struct MatchResult {
+    round: usize,
+    hit: Option<usize>,
+    compares: u64,
+}
+
+/// Step 5: dedupe candidate windows into phases, in discovery order.
+struct Merger<'a> {
     lt: &'a LogicalTrace,
     cfg: &'a SimilarityConfig,
     nprocs: usize,
@@ -231,53 +303,154 @@ struct Extractor<'a> {
     /// contiguous, so this always equals the counts at the next start.
     running_counts: Vec<u64>,
     phases: Vec<Phase>,
-    /// Similarity comparisons performed (step 5 cost driver).
+    /// Shared mirror of `phases[i].pattern`, cheap to hand to workers.
+    known: Vec<Arc<Pattern>>,
+    /// Similarity comparisons the *sequential* first-match walk would
+    /// perform (step 5 cost driver) — identical for every worker count.
     comparisons: u64,
+    /// Comparisons actually executed by pool workers (chunk scans do not
+    /// stop at the global first match, so this can exceed `comparisons`).
+    par_compares: u64,
     /// Windows absorbed into an existing phase instead of creating one.
     dedupe_hits: u64,
+    /// Occurrences constructed with `t_end < t_start`.
+    negative_spans: u64,
 }
 
-impl Extractor<'_> {
-    /// Save the window `[s, e)` as a phase occurrence: dedupe by
-    /// similarity (step 5) or register a new phase.
-    fn save(&mut self, s: usize, e: usize) {
-        if s >= e {
-            return;
-        }
-        let pattern = self.pattern_of(s, e);
+impl Merger<'_> {
+    /// Build the pattern and occurrence of the window `[s, e)`, advancing
+    /// the running per-process event counts.
+    fn candidate(&mut self, s: usize, e: usize) -> (Arc<Pattern>, Occurrence) {
+        let pattern = Arc::new(self.pattern_of(s, e));
         let start_counts = self.running_counts.clone();
         for tick in &self.lt.ticks[s..e] {
             for ev in &tick.events {
                 self.running_counts[ev.process as usize] += 1;
             }
         }
+        let (t_start, t_end) = (self.boundary[s], self.boundary[e]);
+        if t_end < t_start {
+            self.negative_spans += 1;
+        }
         let occurrence = Occurrence {
             start_tick: s,
             end_tick: e,
-            t_start: self.boundary[s],
-            t_end: self.boundary[e],
+            t_start,
+            t_end,
             start_counts,
             end_counts: self.running_counts.clone(),
         };
+        (pattern, occurrence)
+    }
 
-        for phase in &mut self.phases {
-            self.comparisons += 1;
-            if self.cfg.phases_similar(&phase.pattern, &pattern) {
+    /// Sequential first match among the known phases.
+    fn first_match(&self, candidate: &Pattern) -> Option<usize> {
+        self.known
+            .iter()
+            .position(|k| self.cfg.phases_similar(k, candidate))
+    }
+
+    /// Fold a first-match result into the phase list. `comparisons`
+    /// advances by the sequential-equivalent count so the counter is
+    /// identical whichever path produced `hit`.
+    fn commit(&mut self, hit: Option<usize>, pattern: Arc<Pattern>, occurrence: Occurrence) {
+        self.comparisons += match hit {
+            Some(i) => i as u64 + 1,
+            None => self.known.len() as u64,
+        };
+        match hit {
+            Some(i) => {
                 self.dedupe_hits += 1;
+                let phase = &mut self.phases[i];
                 phase.weight += 1;
                 phase.occurrences.push(occurrence);
-                return;
+            }
+            None => {
+                self.phases.push(Phase {
+                    id: self.phases.len() as u32,
+                    pattern: (*pattern).clone(),
+                    weight: 1,
+                    occurrences: vec![occurrence],
+                });
+                self.known.push(pattern);
             }
         }
-        self.phases.push(Phase {
-            id: self.phases.len() as u32,
-            pattern,
-            weight: 1,
-            occurrences: vec![occurrence],
+    }
+
+    /// The parallel merge: a scoped worker pool scans chunks of the known
+    /// phases; the merge thread takes the minimum matching global index,
+    /// which is exactly the sequential first match.
+    fn merge_parallel(&mut self, windows: &[(usize, usize)], workers: usize) {
+        let (task_tx, task_rx) = crossbeam::channel::unbounded::<MatchTask>();
+        let (res_tx, res_rx) = crossbeam::channel::unbounded::<MatchResult>();
+        let cfg = *self.cfg;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let rx = task_rx.clone();
+                let tx = res_tx.clone();
+                scope.spawn(move || {
+                    while let Ok(task) = rx.recv() {
+                        let mut compares = 0u64;
+                        let mut hit = None;
+                        for (i, known) in task.known.iter().enumerate() {
+                            compares += 1;
+                            if cfg.phases_similar(known, &task.candidate) {
+                                hit = Some(task.base + i);
+                                break;
+                            }
+                        }
+                        if tx
+                            .send(MatchResult {
+                                round: task.round,
+                                hit,
+                                compares,
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                });
+            }
+            drop(task_rx);
+            drop(res_tx);
+
+            for (round, &(s, e)) in windows.iter().enumerate() {
+                let (pattern, occurrence) = self.candidate(s, e);
+                let hit = if self.known.len() >= PAR_MIN_KNOWN.max(workers) {
+                    let chunk = self.known.len().div_ceil(workers);
+                    let mut sent = 0usize;
+                    for (ci, slice) in self.known.chunks(chunk).enumerate() {
+                        let task = MatchTask {
+                            round,
+                            base: ci * chunk,
+                            known: slice.to_vec(),
+                            candidate: Arc::clone(&pattern),
+                        };
+                        assert!(task_tx.send(task).is_ok(), "extract worker pool alive");
+                        sent += 1;
+                    }
+                    let mut best: Option<usize> = None;
+                    for _ in 0..sent {
+                        let r = res_rx.recv().expect("extract worker result");
+                        debug_assert_eq!(r.round, round);
+                        self.par_compares += r.compares;
+                        best = match (best, r.hit) {
+                            (Some(b), Some(h)) => Some(b.min(h)),
+                            (b, h) => b.or(h),
+                        };
+                    }
+                    best
+                } else {
+                    self.first_match(&pattern)
+                };
+                self.commit(hit, pattern, occurrence);
+            }
+            drop(task_tx);
         });
     }
 
-    fn pattern_of(&self, s: usize, e: usize) -> Vec<Vec<Option<CellSig>>> {
+    fn pattern_of(&self, s: usize, e: usize) -> Pattern {
         self.lt.ticks[s..e]
             .iter()
             .map(|tick| {
@@ -484,5 +657,68 @@ mod tests {
         assert_eq!(analysis.total_phases(), 0);
         assert_eq!(analysis.aet, 0.0);
         assert_eq!(analysis.reconstructed_aet(), 0.0);
+    }
+
+    /// A trace with many *distinct* phases, so the known-phase list grows
+    /// past `PAR_MIN_KNOWN` and the pool actually dispatches chunks.
+    fn varied_trace() -> LogicalTrace {
+        let mut cells = Vec::new();
+        let mut t = 0;
+        for rep in 0..12u64 {
+            // Each block: a Send/Recv pair at a size unique to the block,
+            // repeated twice so every block closes as its own phase.
+            for _ in 0..2 {
+                cells.push((t, 0u32, EventKind::Send, 16 << (rep % 6), 0.01 * (rep + 1) as f64));
+                t += 1;
+                cells.push((t, 0u32, EventKind::Recv, 16 << (rep % 6), 0.01 * (rep + 1) as f64));
+                t += 1;
+            }
+        }
+        lt_of(1, &cells)
+    }
+
+    fn strip_timing(mut a: PhaseAnalysis) -> PhaseAnalysis {
+        a.analysis_seconds = 0.0;
+        a
+    }
+
+    #[test]
+    fn parallel_merge_is_byte_identical_to_sequential() {
+        let lt = varied_trace();
+        let sequential = {
+            let cfg = SimilarityConfig {
+                parallelism: Some(1),
+                ..SimilarityConfig::default()
+            };
+            strip_timing(extract_phases(&lt, &cfg))
+        };
+        assert!(
+            sequential.total_phases() >= PAR_MIN_KNOWN,
+            "trace must grow enough phases to engage the pool, got {}",
+            sequential.total_phases()
+        );
+        for workers in [2usize, 3, 8] {
+            let cfg = SimilarityConfig {
+                parallelism: Some(workers),
+                ..SimilarityConfig::default()
+            };
+            let parallel = strip_timing(extract_phases(&lt, &cfg));
+            assert_eq!(sequential, parallel, "workers = {workers}");
+            assert_eq!(
+                serde_json::to_string(&sequential).expect("serialize").into_bytes(),
+                serde_json::to_string(&parallel).expect("serialize").into_bytes(),
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn effective_parallelism_resolves_and_clamps() {
+        let mut cfg = SimilarityConfig::default();
+        assert!(cfg.effective_parallelism() >= 1);
+        cfg.parallelism = Some(0);
+        assert_eq!(cfg.effective_parallelism(), 1);
+        cfg.parallelism = Some(4);
+        assert_eq!(cfg.effective_parallelism(), 4);
     }
 }

@@ -34,6 +34,6 @@ pub mod extract;
 pub mod sig;
 pub mod table;
 
-pub use extract::{extract_phases, Occurrence, Phase, PhaseAnalysis};
+pub use extract::{extract_phases, Occurrence, Pattern, Phase, PhaseAnalysis};
 pub use sig::{CellSig, SimilarityConfig};
 pub use table::{MeasureWindow, PhaseRow, PhaseTable};

@@ -60,6 +60,12 @@ pub struct SimilarityConfig {
     /// Compute times below this floor (seconds) are treated as equal —
     /// they are noise, not PBB bodies.
     pub compute_floor: f64,
+    /// Worker threads for the candidate×known-phase similarity matching
+    /// inside `extract_phases`. `None` (the default) means one worker per
+    /// available core; `Some(1)` forces the sequential path. The merge is
+    /// deterministic: output is byte-identical for every setting.
+    #[serde(default)]
+    pub parallelism: Option<usize>,
 }
 
 impl Default for SimilarityConfig {
@@ -69,11 +75,20 @@ impl Default for SimilarityConfig {
             size_ratio: 0.85,
             event_fraction: 0.80,
             compute_floor: 1e-7,
+            parallelism: None,
         }
     }
 }
 
 impl SimilarityConfig {
+    /// Resolve [`SimilarityConfig::parallelism`] to a concrete worker
+    /// count, clamped to at least 1.
+    pub fn effective_parallelism(&self) -> usize {
+        self.parallelism
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+            .max(1)
+    }
+
     fn ratio_similar(a: f64, b: f64, threshold: f64, floor: f64) -> bool {
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
         if hi <= floor {

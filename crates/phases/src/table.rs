@@ -46,13 +46,20 @@ pub struct PhaseRow {
 
 impl PhaseRow {
     /// Startpoint of the first measured occurrence (Fig 7's startpoint).
-    pub fn start_counts(&self) -> &[u64] {
-        &self.windows.first().expect("row has windows").start_counts
+    ///
+    /// `None` when the row has no measure windows. `from_analysis` never
+    /// builds such a row, but a deserialized or hand-edited table can
+    /// carry one (`pas2p-cli check` accepts those); callers must not
+    /// assume the windows exist. `pas2p-check` reports empty rows as
+    /// `SIG-ROW-001`.
+    pub fn start_counts(&self) -> Option<&[u64]> {
+        self.windows.first().map(|w| w.start_counts.as_slice())
     }
 
-    /// Endpoint of the last measured occurrence.
-    pub fn end_counts(&self) -> &[u64] {
-        &self.windows.last().expect("row has windows").end_counts
+    /// Endpoint of the last measured occurrence; `None` when the row has
+    /// no measure windows (see [`PhaseRow::start_counts`]).
+    pub fn end_counts(&self) -> Option<&[u64]> {
+        self.windows.last().map(|w| w.end_counts.as_slice())
     }
 }
 
@@ -214,14 +221,16 @@ impl std::fmt::Display for PhaseTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "# PHASE_TABLE ({} processes)", self.nprocs)?;
         writeln!(f, "# startpoint | endpoint | id | weight")?;
+        let render = |counts: Option<&[u64]>| match counts {
+            Some(c) => c.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(" "),
+            None => "-".to_string(),
+        };
         for row in &self.rows {
-            let sp: Vec<String> = row.start_counts().iter().map(|c| c.to_string()).collect();
-            let ep: Vec<String> = row.end_counts().iter().map(|c| c.to_string()).collect();
             writeln!(
                 f,
                 "{} | {} | {} | {}",
-                sp.join(" "),
-                ep.join(" "),
+                render(row.start_counts()),
+                render(row.end_counts()),
                 row.phase_id,
                 row.weight
             )?;
@@ -276,8 +285,8 @@ mod tests {
         // Measured occurrence is the second (warm-up 1); checkpoint is at
         // the first occurrence's start.
         assert_eq!(row.ckpt_counts, vec![0]);
-        assert_eq!(row.start_counts(), &[2]);
-        assert_eq!(row.end_counts(), &[4]);
+        assert_eq!(row.start_counts(), Some(&[2u64][..]));
+        assert_eq!(row.end_counts(), Some(&[4u64][..]));
     }
 
     #[test]
@@ -285,7 +294,7 @@ mod tests {
         let analysis = iterative_analysis(1);
         let table = PhaseTable::from_analysis(&analysis, 0.01, 5, 1);
         let row = &table.rows[0];
-        assert_eq!(row.start_counts(), &[0]);
+        assert_eq!(row.start_counts(), Some(&[0u64][..]));
         assert_eq!(row.ckpt_counts, vec![0]);
     }
 
@@ -318,6 +327,30 @@ mod tests {
             pred,
             analysis.aet
         );
+    }
+
+    #[test]
+    fn empty_windows_row_is_survivable() {
+        // A tampered/deserialized table can carry a row with no measure
+        // windows; the accessors and Display must not panic on it.
+        let row = PhaseRow {
+            phase_id: 7,
+            weight: 3,
+            phase_et_base: 0.5,
+            ckpt_counts: vec![0, 0],
+            windows: vec![],
+        };
+        assert_eq!(row.start_counts(), None);
+        assert_eq!(row.end_counts(), None);
+        let table = PhaseTable {
+            nprocs: 2,
+            aet_base: 1.0,
+            total_phases: 1,
+            relevance_threshold: 0.01,
+            rows: vec![row],
+        };
+        let rendered = table.to_string();
+        assert!(rendered.contains("- | - | 7 | 3"), "{rendered}");
     }
 
     #[test]

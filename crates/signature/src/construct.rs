@@ -130,12 +130,23 @@ pub fn construct_signature(
     let n = app.nprocs();
     assert_eq!(n, table.nprocs, "phase table is for a different run size");
 
+    // Rows without measure windows (possible in a deserialized table;
+    // `pas2p-check` flags them as SIG-ROW-001) have no endpoint to detect,
+    // so they are skipped rather than panicking construction.
     let rows: Vec<RowTargets> = table
         .rows
         .iter()
-        .map(|r| RowTargets {
-            ckpt_counts: r.ckpt_counts.clone(),
-            end_counts: r.end_counts().to_vec(),
+        .filter_map(|r| match r.end_counts() {
+            Some(end) => Some(RowTargets {
+                ckpt_counts: r.ckpt_counts.clone(),
+                end_counts: end.to_vec(),
+            }),
+            None => {
+                if pas2p_obs::enabled() {
+                    pas2p_obs::counter("signature.rows_skipped_empty").inc();
+                }
+                None
+            }
         })
         .collect();
     let coord = Arc::new(CkptCoordinator::new(n as usize, rows));

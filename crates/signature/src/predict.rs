@@ -98,16 +98,26 @@ pub struct ValidationReport {
     /// Measured application execution time on the target, seconds.
     pub aet: f64,
     /// Prediction execution-time error: `100·|PET − AET| / AET`
-    /// (Table 5/7 "PETE(%)").
-    pub pete_percent: f64,
+    /// (Table 5/7 "PETE(%)"). `None` when the AET is non-positive or not
+    /// finite — a degenerate run has no meaningful relative error, and
+    /// reporting 0 % would read as a perfect prediction.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub pete_percent: Option<f64>,
     /// `100·SET / AET` (Table 5/7 "SET versus AET").
     pub set_vs_aet_percent: f64,
 }
 
 impl ValidationReport {
-    /// Prediction accuracy in percent (100 − PETE).
-    pub fn accuracy_percent(&self) -> f64 {
-        100.0 - self.pete_percent
+    /// Prediction accuracy in percent (100 − PETE); `None` when PETE is
+    /// undefined.
+    pub fn accuracy_percent(&self) -> Option<f64> {
+        self.pete_percent.map(|p| 100.0 - p)
+    }
+
+    /// PETE as a plain number for thresholds and table output: `+∞` when
+    /// undefined, so a degenerate run can never pass an accuracy check.
+    pub fn pete_or_inf(&self) -> f64 {
+        self.pete_percent.unwrap_or(f64::INFINITY)
     }
 }
 
@@ -127,19 +137,21 @@ pub fn validate(
 /// Build a validation report from an existing prediction and a measured
 /// AET (lets benches reuse an AET across configurations).
 pub fn report_from(prediction: Prediction, aet: f64) -> ValidationReport {
-    let pete_percent = if aet > 0.0 {
-        100.0 * (prediction.pet - aet).abs() / aet
+    let pete_percent = if aet > 0.0 && aet.is_finite() {
+        Some(100.0 * (prediction.pet - aet).abs() / aet)
     } else {
-        0.0
+        None
     };
-    let set_vs_aet_percent = if aet > 0.0 {
+    let set_vs_aet_percent = if aet > 0.0 && aet.is_finite() {
         100.0 * prediction.set / aet
     } else {
         0.0
     };
     if pas2p_obs::enabled() {
         pas2p_obs::gauge("predict.aet_seconds").set(aet);
-        pas2p_obs::gauge("predict.pete_percent").set(pete_percent);
+        if let Some(pete) = pete_percent {
+            pas2p_obs::gauge("predict.pete_percent").set(pete);
+        }
     }
     ValidationReport {
         prediction,
@@ -188,8 +200,8 @@ mod tests {
             0.0,
         );
         let r = report_from(p, 1.25);
-        assert!((r.pete_percent - 20.0).abs() < 1e-9);
-        assert!((r.accuracy_percent() - 80.0).abs() < 1e-9);
+        assert!((r.pete_percent.unwrap() - 20.0).abs() < 1e-9);
+        assert!((r.accuracy_percent().unwrap() - 80.0).abs() < 1e-9);
     }
 
     #[test]
@@ -208,9 +220,31 @@ mod tests {
 
     #[test]
     fn zero_aet_is_handled() {
+        // A degenerate AET must NOT read as a perfect prediction: PETE is
+        // undefined, not 0 %.
         let p = Prediction::from_measurements("x".into(), "A".into(), "B".into(), 1, vec![], 0.0);
         let r = report_from(p, 0.0);
-        assert_eq!(r.pete_percent, 0.0);
+        assert_eq!(r.pete_percent, None);
+        assert_eq!(r.accuracy_percent(), None);
+        assert_eq!(r.pete_or_inf(), f64::INFINITY);
         assert_eq!(r.set_vs_aet_percent, 0.0);
+    }
+
+    #[test]
+    fn non_finite_aet_is_undefined_too() {
+        let p = |aet| {
+            let pred = Prediction::from_measurements(
+                "x".into(),
+                "A".into(),
+                "B".into(),
+                1,
+                vec![],
+                0.0,
+            );
+            report_from(pred, aet)
+        };
+        assert_eq!(p(f64::NAN).pete_percent, None);
+        assert_eq!(p(f64::INFINITY).pete_percent, None);
+        assert_eq!(p(-1.0).pete_percent, None);
     }
 }

@@ -157,9 +157,9 @@ fn signature_predicts_same_machine_accurately() {
     );
     let report = predict::validate(&a, &sig, &base, MappingPolicy::Block).unwrap();
     assert!(
-        report.pete_percent < 10.0,
+        report.pete_or_inf() < 10.0,
         "PETE {}% (PET {} vs AET {})",
-        report.pete_percent,
+        report.pete_or_inf(),
         report.prediction.pet,
         report.aet
     );
@@ -182,9 +182,9 @@ fn signature_predicts_cross_machine() {
     );
     let report = predict::validate(&a, &sig, &target, MappingPolicy::Block).unwrap();
     assert!(
-        report.pete_percent < 10.0,
+        report.pete_or_inf() < 10.0,
         "PETE {}% (PET {} vs AET {})",
-        report.pete_percent,
+        report.pete_or_inf(),
         report.prediction.pet,
         report.aet
     );
@@ -209,7 +209,7 @@ fn prediction_tracks_machine_with_jitter() {
         SignatureConfig::default(),
     );
     let report = predict::validate(&a, &sig, &target, MappingPolicy::Block).unwrap();
-    assert!(report.pete_percent < 15.0, "PETE {}%", report.pete_percent);
+    assert!(report.pete_or_inf() < 15.0, "PETE {}%", report.pete_or_inf());
 }
 
 #[test]
@@ -256,7 +256,7 @@ fn isa_mismatch_is_rejected_and_rebuild_works() {
     // Appendix E: rebuild on the new ISA from the ported phase table.
     let (sig_d, _) = rebuild_signature(&a, &sig, &itanium, MappingPolicy::Block);
     let report = predict::validate(&a, &sig_d, &itanium, MappingPolicy::Block).unwrap();
-    assert!(report.pete_percent < 10.0, "PETE {}%", report.pete_percent);
+    assert!(report.pete_or_inf() < 10.0, "PETE {}%", report.pete_or_inf());
 }
 
 #[test]

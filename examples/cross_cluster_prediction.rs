@@ -54,7 +54,7 @@ fn main() {
                 target.name,
                 report.prediction.pet,
                 report.aet,
-                report.pete_percent,
+                report.pete_or_inf(),
                 note
             );
         }

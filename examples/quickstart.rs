@@ -61,8 +61,8 @@ fn main() {
         "\nPET {:.2}s vs AET {:.2}s -> PETE {:.2}% (accuracy {:.2}%)",
         report.prediction.pet,
         report.aet,
-        report.pete_percent,
-        report.accuracy_percent()
+        report.pete_or_inf(),
+        report.accuracy_percent().unwrap_or(f64::NAN)
     );
     println!(
         "SET {:.2}s = {:.2}% of AET — the signature is a small fraction of the run",

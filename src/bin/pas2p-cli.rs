@@ -36,7 +36,11 @@ const USAGE: &str = "usage:
   pas2p-cli check     --app NAME --nprocs N --base M [--json] [--logical-out FILE]
   pas2p-cli check     --logical FILE [--json]
   pas2p-cli metrics   --analysis FILE
+  pas2p-cli batch     --apps NAME[,NAME...] --nprocs N --base M [--workers K] [--out FILE]
 machines: A, B, C, D (the paper's clusters)
+batch: one Stage-A analysis per listed application over a worker pool
+  (--workers defaults to the core count); the report order and content are
+  independent of the worker count
 check: runs the pas2p-check invariant rules over every pipeline artifact;
   exits 0 when clean, 1 on warnings, 2 on errors (--json for machine output);
   --logical-out dumps the logical trace JSON so it can be re-checked with
@@ -227,7 +231,7 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
                 "PET {:.3} s | AET {:.3} s | PETE {:.2}% | SET/AET {:.2}%",
                 report.prediction.pet,
                 report.aet,
-                report.pete_percent,
+                report.pete_or_inf(),
                 report.set_vs_aet_percent
             );
             Ok(ExitCode::SUCCESS)
@@ -281,6 +285,40 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
                 print!("{}", report.render());
             }
             Ok(ExitCode::from(report.exit_code()))
+        }
+        "batch" => {
+            let names = flags.get("apps").ok_or("missing --apps")?;
+            let nprocs: u32 = flags
+                .get("nprocs")
+                .ok_or("missing --nprocs")?
+                .parse()
+                .map_err(|_| format!("bad --nprocs '{}'", flags["nprocs"]))?;
+            let base = machine(&flags, "base")?;
+            let workers = match flags.get("workers") {
+                Some(w) => Some(
+                    w.parse::<usize>()
+                        .ok()
+                        .filter(|&w| w > 0)
+                        .ok_or_else(|| format!("bad --workers '{w}'"))?,
+                ),
+                None => None,
+            };
+            let jobs: Vec<pas2p::BatchJob> = names
+                .split(',')
+                .map(|name| {
+                    let name = name.trim();
+                    pas2p_apps::by_name(name, nprocs)
+                        .map(|app| pas2p::BatchJob::new(app, base.clone()))
+                        .ok_or_else(|| format!("unknown application '{name}'"))
+                })
+                .collect::<Result<_, _>>()?;
+            let report = pas2p::run_batch(&pas2p, jobs, workers);
+            eprint!("{}", report.render());
+            if flags.contains_key("out") {
+                let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+                write_or_print(&flags, &json)?;
+            }
+            Ok(ExitCode::SUCCESS)
         }
         "metrics" => {
             let path = flags.get("analysis").ok_or("missing --analysis")?;

@@ -1,0 +1,122 @@
+//! Parallelism must be an implementation detail: the analysis pipeline
+//! and the batch driver have to produce identical results for any worker
+//! count. This suite pins that for all eleven catalog applications
+//! (extraction parallelism None/1/4/8) and for the batch driver (worker
+//! count and submission order).
+
+use pas2p::prelude::*;
+use pas2p::{run_batch, BatchJob, Pas2p};
+use pas2p_phases::PhaseAnalysis;
+
+const APPS: &[&str] = &[
+    "cg",
+    "bt",
+    "sp",
+    "lu",
+    "ft",
+    "sweep3d",
+    "smg2000",
+    "pop",
+    "moldy",
+    "gromacs",
+    "masterworker",
+];
+
+/// Zero the host-clock field so the comparison covers only
+/// simulation-derived structure.
+fn strip_timing(mut analysis: PhaseAnalysis) -> PhaseAnalysis {
+    analysis.analysis_seconds = 0.0;
+    analysis
+}
+
+fn tool_with_parallelism(parallelism: Option<usize>) -> Pas2p {
+    let mut pas2p = Pas2p::default();
+    pas2p.similarity.parallelism = parallelism;
+    pas2p
+}
+
+#[test]
+fn extraction_is_parallelism_invariant_for_every_app() {
+    let base = cluster_a();
+    for name in APPS {
+        let app = pas2p_apps::by_name(name, 8).expect("catalog app");
+        let sequential = tool_with_parallelism(Some(1));
+        let baseline = sequential.analyze(app.as_ref(), &base, MappingPolicy::Block);
+        for parallelism in [None, Some(4), Some(8)] {
+            let tool = tool_with_parallelism(parallelism);
+            let par = tool.analyze(app.as_ref(), &base, MappingPolicy::Block);
+            assert_eq!(
+                strip_timing(baseline.analysis.clone()),
+                strip_timing(par.analysis.clone()),
+                "{name}: parallelism {parallelism:?} changed the phase analysis"
+            );
+            assert_eq!(
+                baseline.table, par.table,
+                "{name}: parallelism {parallelism:?} changed the phase table"
+            );
+            assert_eq!(baseline.trace_events, par.trace_events, "{name}");
+            assert_eq!(
+                baseline.aet_instrumented, par.aet_instrumented,
+                "{name}: parallelism {parallelism:?} changed the virtual clock"
+            );
+        }
+    }
+}
+
+/// The batch determinism surface: everything but host timing and the
+/// metrics snapshot.
+fn batch_keys(report: &pas2p::BatchReport) -> Vec<(usize, String, usize, PhaseAnalysis)> {
+    report
+        .results
+        .iter()
+        .map(|r| {
+            (
+                r.index,
+                r.analysis.app_name.clone(),
+                r.analysis.trace_events,
+                strip_timing(r.analysis.analysis.clone()),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn batch_is_worker_count_invariant_over_the_catalog() {
+    let pas2p = Pas2p::default();
+    let jobs = || -> Vec<BatchJob> {
+        APPS.iter()
+            .map(|n| BatchJob::new(pas2p_apps::by_name(n, 8).expect("catalog app"), cluster_a()))
+            .collect()
+    };
+    let baseline = run_batch(&pas2p, jobs(), Some(1));
+    assert_eq!(baseline.results.len(), APPS.len());
+    for workers in [4, 11] {
+        let par = run_batch(&pas2p, jobs(), Some(workers));
+        assert_eq!(
+            batch_keys(&baseline),
+            batch_keys(&par),
+            "worker count {workers} changed the batch report"
+        );
+    }
+}
+
+#[test]
+fn batch_is_submission_order_invariant() {
+    let pas2p = Pas2p::default();
+    let jobs = |names: &[&str]| -> Vec<BatchJob> {
+        names
+            .iter()
+            .map(|n| BatchJob::new(pas2p_apps::by_name(n, 8).expect("catalog app"), cluster_a()))
+            .collect()
+    };
+    let forward = run_batch(&pas2p, jobs(&["cg", "ft", "moldy"]), Some(3));
+    let reverse = run_batch(&pas2p, jobs(&["moldy", "ft", "cg"]), Some(3));
+    let fwd = batch_keys(&forward);
+    let rev = batch_keys(&reverse);
+    for (f, r) in fwd.iter().zip(rev.iter().rev()) {
+        // Same job, mirrored submission slot: identical analysis.
+        assert_eq!(f.1, r.1);
+        assert_eq!(f.2, r.2);
+        assert_eq!(f.3, r.3);
+    }
+}
