@@ -3,7 +3,7 @@
 use crate::diag::{Diagnostic, Severity};
 use pas2p_model::LogicalTrace;
 use pas2p_phases::{PhaseAnalysis, PhaseTable, SimilarityConfig};
-use pas2p_trace::Trace;
+use pas2p_trace::{IngestReport, Trace};
 use serde::{Deserialize, Serialize};
 
 /// Everything a rule may look at. Each stage is optional so the engine
@@ -22,6 +22,9 @@ pub struct Artifacts<'a> {
     /// Similarity thresholds the analysis was produced with — signature
     /// rules re-apply them.
     pub similarity: SimilarityConfig,
+    /// What the recovering decoder did to the input (stage 0 output);
+    /// present only when the trace came through `decode_recovering`.
+    pub ingest: Option<&'a IngestReport>,
 }
 
 impl<'a> Artifacts<'a> {
@@ -33,6 +36,7 @@ impl<'a> Artifacts<'a> {
             analysis: None,
             table: None,
             similarity: SimilarityConfig::default(),
+            ingest: None,
         }
     }
 }
@@ -131,6 +135,12 @@ pub fn hit_metric(code: &str) -> &'static str {
         "SIG-ROW-001" => "check.hit.sig_row_001",
         "PET-EQ-001" => "check.hit.pet_eq_001",
         "PET-EQ-002" => "check.hit.pet_eq_002",
+        "MODEL-SPAN-001" => "check.hit.model_span_001",
+        "INGEST-FATAL-001" => "check.hit.ingest_fatal_001",
+        "INGEST-RANK-001" => "check.hit.ingest_rank_001",
+        "INGEST-REC-001" => "check.hit.ingest_rec_001",
+        "INGEST-TRUNC-001" => "check.hit.ingest_trunc_001",
+        "INGEST-DUP-001" => "check.hit.ingest_dup_001",
         _ => "check.hit.other",
     }
 }
@@ -148,9 +158,11 @@ impl CheckEngine {
         }
     }
 
-    /// The full shipped rule set: trace, model, and signature families.
+    /// The full shipped rule set: ingest, trace, model, and signature
+    /// families.
     pub fn with_default_rules() -> CheckEngine {
         let mut e = CheckEngine::new();
+        e.push(Box::new(crate::ingest_rules::IngestRules));
         e.push(Box::new(crate::trace_rules::TraceRules));
         e.push(Box::new(crate::model_rules::ModelRules));
         e.push(Box::new(crate::signature_rules::SignatureRules));

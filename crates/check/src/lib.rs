@@ -13,6 +13,11 @@
 //!
 //! # Rule families
 //!
+//! * **Ingest** ([`ingest_rules`]) — `INGEST-FATAL-001` (unusable trace
+//!   buffer), `INGEST-RANK-001` (a rank never appeared),
+//!   `INGEST-TRUNC-001` (section truncated), `INGEST-REC-001` (records
+//!   quarantined), `INGEST-DUP-001` (records renumbered) — what the
+//!   recovering decoder had to do to the input.
 //! * **Trace** ([`trace_rules`]) — `P2P-MATCH-001..005` (unmatched and
 //!   mismatched point-to-point pairs), `WILD-RECV-001` (wildcard-source
 //!   receives: a nondeterminism hazard), `WFG-CYCLE-001` (the traced
@@ -21,7 +26,9 @@
 //!   before its send), `MODEL-TICK-001` (two events of one process in a
 //!   tick), `LT-COLL-001` (a collective split across ticks),
 //!   `MODEL-ORDER-001` (program order broken on the tick axis),
-//!   `MODEL-CONS-001` (events lost or invented by the relayout).
+//!   `MODEL-CONS-001` (events lost or invented by the relayout),
+//!   `MODEL-SPAN-001` (phase occurrences with negative global spans —
+//!   clock trouble in the input).
 //! * **Signature** ([`signature_rules`]) — `SIG-W-001` (weight ≠
 //!   occurrence count), `SIG-OCC-001` (occurrences do not tile the
 //!   trace), `SIG-SIM-001`/`SIG-SIM-002` (similarity bookkeeping),
@@ -45,12 +52,14 @@
 
 pub mod diag;
 pub mod engine;
+pub mod ingest_rules;
 pub mod model_rules;
 pub mod signature_rules;
 pub mod trace_rules;
 
 pub use diag::{Diagnostic, Location, Severity};
 pub use engine::{hit_metric, Artifacts, CheckEngine, CheckReport, Checker};
+pub use ingest_rules::IngestRules;
 pub use model_rules::ModelRules;
 pub use signature_rules::{SignatureRuleConfig, SignatureRules};
 pub use trace_rules::TraceRules;

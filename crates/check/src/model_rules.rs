@@ -22,6 +22,9 @@ impl Checker for ModelRules {
     }
 
     fn check(&self, artifacts: &Artifacts<'_>, out: &mut Vec<Diagnostic>) {
+        if let Some(analysis) = artifacts.analysis {
+            check_negative_spans(analysis, out);
+        }
         let Some(logical) = artifacts.logical else {
             return;
         };
@@ -32,6 +35,30 @@ impl Checker for ModelRules {
         if let Some(trace) = artifacts.trace {
             check_conservation(logical, trace, out);
         }
+    }
+}
+
+/// MODEL-SPAN-001: phase occurrences whose global span came out negative
+/// (end boundary before start boundary). Extraction clamps them to zero
+/// duration, so PET stays finite — but the clamp means the input clocks
+/// disagree with the logical order and timings are suspect.
+fn check_negative_spans(analysis: &pas2p_phases::PhaseAnalysis, out: &mut Vec<Diagnostic>) {
+    if analysis.negative_spans > 0 {
+        out.push(
+            Diagnostic::new(
+                "MODEL-SPAN-001",
+                Severity::Warning,
+                Location::none(),
+                format!(
+                    "{} phase occurrence(s) had negative global spans clamped to zero",
+                    analysis.negative_spans
+                ),
+            )
+            .with_suggestion(
+                "input timestamps regress against the logical order; check for clock \
+                 skew or corrupted times in the trace",
+            ),
+        );
     }
 }
 
@@ -367,5 +394,38 @@ mod tests {
         l.ticks.pop(); // lose the receive
         let ds = run(Some(&t), &l);
         assert!(ds.iter().any(|d| d.code == "MODEL-CONS-001"));
+    }
+
+    #[test]
+    fn negative_spans_raise_a_warning() {
+        let analysis = pas2p_phases::PhaseAnalysis {
+            nprocs: 1,
+            phases: vec![],
+            aet: 1.0,
+            analysis_seconds: 0.0,
+            negative_spans: 2,
+        };
+        let artifacts = Artifacts {
+            analysis: Some(&analysis),
+            ..Artifacts::empty()
+        };
+        let r = crate::engine::CheckEngine::with_default_rules().run(&artifacts);
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "MODEL-SPAN-001")
+            .expect("MODEL-SPAN-001 raised");
+        assert_eq!(d.severity, Severity::Warning);
+        // Zero spans stay silent.
+        let clean = pas2p_phases::PhaseAnalysis {
+            negative_spans: 0,
+            ..analysis
+        };
+        let artifacts = Artifacts {
+            analysis: Some(&clean),
+            ..Artifacts::empty()
+        };
+        let r = crate::engine::CheckEngine::with_default_rules().run(&artifacts);
+        assert!(!r.has_code("MODEL-SPAN-001"));
     }
 }

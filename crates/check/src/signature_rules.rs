@@ -399,6 +399,7 @@ mod tests {
             }],
             aet: 2.0,
             analysis_seconds: 0.0,
+            negative_spans: 0,
         }
     }
 
@@ -489,6 +490,7 @@ mod tests {
             phases: vec![],
             aet: 0.0,
             analysis_seconds: 0.0,
+            negative_spans: 0,
         };
         let ds = run(&empty, None);
         assert!(ds.iter().all(|d| d.code != "PET-EQ-002"), "{ds:?}");
@@ -550,6 +552,7 @@ mod tests {
             analysis: Some(&analysis),
             table: Some(&table),
             similarity: cfg,
+            ingest: None,
         };
         let report = CheckEngine::with_default_rules().run(&artifacts);
         assert_eq!(

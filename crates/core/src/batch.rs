@@ -1,20 +1,35 @@
 //! Batch analysis: run many app×workload analyses over a bounded worker
-//! pool.
+//! pool, surviving whatever the jobs do.
 //!
 //! The driver exists for the paper's experimental sweeps (Tables 5–9):
 //! one Stage-A analysis per application/workload pair, all independent of
-//! each other. Jobs are claimed from a shared cursor by scoped worker
-//! threads and every result is written back into the slot of its
-//! submission index, so the report order — and, because each analysis is
-//! itself deterministic, the report content — is identical for any worker
-//! count and any claiming order.
+//! each other. Jobs are claimed from a shared cursor by worker threads
+//! and every result is written back into the slot of its submission
+//! index, so the report order — and, because each analysis is itself
+//! deterministic, the report content — is identical for any worker count
+//! and any claiming order.
+//!
+//! The driver is hardened against misbehaving jobs: a panic inside one
+//! analysis is caught at the worker boundary and classified, never
+//! propagated ([`BatchStatus::Failed`]); a job can carry a per-job
+//! deadline after which it is abandoned ([`BatchStatus::TimedOut`]);
+//! transient failures can be retried with exponential backoff
+//! ([`BatchStatus::Retried`]). Jobs may also carry a seeded
+//! [`FaultPlan`] injected into their trace byte stream, driving the
+//! analysis through the recovering ingest path — the fault-matrix
+//! acceptance suite is built on this.
 
 use crate::pipeline::{Analysis, Pas2p};
+use pas2p_faults::FaultPlan;
 use pas2p_machine::{MachineModel, MappingPolicy};
-use pas2p_signature::MpiApp;
+use pas2p_signature::{run_traced, MpiApp};
+use pas2p_trace::{Confidence, IngestReport};
 use parking_lot::Mutex;
 use serde::Serialize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 /// One unit of batch work: analyze `app` on `base` under `policy`.
 pub struct BatchJob {
@@ -24,15 +39,54 @@ pub struct BatchJob {
     pub base: MachineModel,
     /// Process-to-node mapping policy.
     pub policy: MappingPolicy,
+    /// Optional seeded fault plan injected into the trace byte stream
+    /// before analysis; the job then runs through the recovering ingest
+    /// path and reports an [`IngestReport`].
+    pub fault: Option<FaultPlan>,
 }
 
 impl BatchJob {
-    /// A job with the default block mapping.
+    /// A job with the default block mapping and no fault injection.
     pub fn new(app: Box<dyn MpiApp>, base: MachineModel) -> BatchJob {
         BatchJob {
             app,
             base,
             policy: MappingPolicy::Block,
+            fault: None,
+        }
+    }
+
+    /// Attach a seeded fault plan to this job.
+    pub fn with_fault(mut self, plan: FaultPlan) -> BatchJob {
+        self.fault = Some(plan);
+        self
+    }
+}
+
+/// How a batch job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum BatchStatus {
+    /// Completed at full confidence on the first attempt.
+    Ok,
+    /// Completed, but on recovered input: the analysis carries
+    /// [`Confidence::Degraded`].
+    Degraded,
+    /// Completed at full confidence, but only after at least one retry.
+    Retried,
+    /// Every attempt failed (typed error or panic); `error` says why.
+    Failed,
+    /// The per-job deadline expired; the job was abandoned.
+    TimedOut,
+}
+
+impl std::fmt::Display for BatchStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchStatus::Ok => write!(f, "ok"),
+            BatchStatus::Degraded => write!(f, "degraded"),
+            BatchStatus::Retried => write!(f, "retried"),
+            BatchStatus::Failed => write!(f, "failed"),
+            BatchStatus::TimedOut => write!(f, "timed-out"),
         }
     }
 }
@@ -42,8 +96,20 @@ impl BatchJob {
 pub struct BatchResult {
     /// Submission index of the job this result belongs to.
     pub index: usize,
-    /// The full Stage-A analysis.
-    pub analysis: Analysis,
+    /// Application name, available even when the job produced no
+    /// analysis (failed or timed out).
+    pub app_name: String,
+    /// Failure classification.
+    pub status: BatchStatus,
+    /// The full Stage-A analysis; absent for `Failed` and `TimedOut`.
+    pub analysis: Option<Analysis>,
+    /// Ingest accounting when the job went through the recovering
+    /// decoder (fault jobs and byte-stream jobs), even on failure.
+    pub ingest: Option<IngestReport>,
+    /// The last attempt's error for `Failed` jobs.
+    pub error: Option<String>,
+    /// Attempts consumed (1 = no retries).
+    pub attempts: u32,
     /// Host wall-clock seconds this job took on its worker.
     pub job_seconds: f64,
 }
@@ -64,18 +130,40 @@ impl BatchReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for r in &self.results {
-            let a = &r.analysis;
-            out.push_str(&format!(
-                "{:<12} {:>3}p {:>8} events {:>4} phases ({:>3} relevant) \
-                 TFAT {:.3}s AET {:.3}s\n",
-                a.app_name,
-                a.nprocs,
-                a.trace_events,
-                a.total_phases(),
-                a.relevant_phases(),
-                a.tfat_seconds,
-                a.aet_instrumented,
-            ));
+            match (&r.status, &r.analysis) {
+                (BatchStatus::Failed, _) => {
+                    out.push_str(&format!(
+                        "{:<12} {:>3}  FAILED after {} attempt(s): {}\n",
+                        r.app_name,
+                        "",
+                        r.attempts,
+                        r.error.as_deref().unwrap_or("unknown error"),
+                    ));
+                }
+                (BatchStatus::TimedOut, _) => {
+                    out.push_str(&format!(
+                        "{:<12} {:>3}  TIMED OUT after {} attempt(s)\n",
+                        r.app_name, "", r.attempts,
+                    ));
+                }
+                (_, Some(a)) => {
+                    out.push_str(&format!(
+                        "{:<12} {:>3}p {:>8} events {:>4} phases ({:>3} relevant) \
+                         TFAT {:.3}s AET {:.3}s [{}]\n",
+                        a.app_name,
+                        a.nprocs,
+                        a.trace_events,
+                        a.total_phases(),
+                        a.relevant_phases(),
+                        a.tfat_seconds,
+                        a.aet_instrumented,
+                        r.status,
+                    ));
+                }
+                (_, None) => {
+                    out.push_str(&format!("{:<12} [{}]\n", r.app_name, r.status));
+                }
+            }
         }
         out.push_str(&format!(
             "{} job(s) on {} worker(s), {:.3}s wall\n",
@@ -84,6 +172,77 @@ impl BatchReport {
             self.wall_seconds
         ));
         out
+    }
+
+    /// Deterministic digest of the batch outcome: everything that must
+    /// be byte-identical across worker counts and submission claiming
+    /// orders — statuses, attempt counts, analysis shapes, and ingest
+    /// accounting — and nothing that may not (wall times, metrics).
+    pub fn digest(&self) -> String {
+        let mut out = String::new();
+        for r in &self.results {
+            out.push_str(&format!(
+                "job {} {} status={} attempts={}",
+                r.index, r.app_name, r.status, r.attempts
+            ));
+            if let Some(a) = &r.analysis {
+                out.push_str(&format!(
+                    " nprocs={} events={} phases={} relevant={} confidence={}",
+                    a.nprocs,
+                    a.trace_events,
+                    a.total_phases(),
+                    a.relevant_phases(),
+                    a.confidence,
+                ));
+            }
+            if let Some(e) = &r.error {
+                out.push_str(&format!(" error={}", e));
+            }
+            out.push('\n');
+            if let Some(i) = &r.ingest {
+                for line in i.render().lines() {
+                    out.push_str("  ");
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// True when every job completed (possibly degraded or retried).
+    pub fn all_completed(&self) -> bool {
+        self.results
+            .iter()
+            .all(|r| !matches!(r.status, BatchStatus::Failed | BatchStatus::TimedOut))
+    }
+}
+
+/// Knobs for [`run_batch_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct BatchOptions {
+    /// Worker threads; `None` means one per available core. Clamped to
+    /// the job count either way.
+    pub workers: Option<usize>,
+    /// Per-job wall-clock deadline. A job still running when it expires
+    /// is abandoned ([`BatchStatus::TimedOut`]) and its worker slot
+    /// freed; the runaway attempt finishes (or not) on a detached
+    /// thread whose result is discarded.
+    pub deadline: Option<Duration>,
+    /// Retries after a failed attempt (0 = single attempt).
+    pub max_retries: u32,
+    /// Sleep before the first retry; doubles per subsequent retry.
+    pub retry_backoff: Duration,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            workers: None,
+            deadline: None,
+            max_retries: 0,
+            retry_backoff: Duration::from_millis(50),
+        }
     }
 }
 
@@ -95,35 +254,192 @@ pub fn batch_workers(requested: Option<usize>, jobs: usize) -> usize {
         .clamp(1, jobs.max(1))
 }
 
-/// Analyze every job over a pool of `workers` scoped threads.
+/// What one job's retry loop produced.
+struct Outcome {
+    result: Result<Analysis, String>,
+    ingest: Option<IngestReport>,
+    attempts: u32,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        format!("panicked: {}", s)
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {}", s)
+    } else {
+        "panicked".to_string()
+    }
+}
+
+/// One attempt: run the job to completion, through fault injection and
+/// recovering ingest when the job carries a plan.
+fn attempt(pas2p: &Pas2p, job: &BatchJob) -> Result<Analysis, (String, Option<IngestReport>)> {
+    match &job.fault {
+        None => Ok(pas2p.analyze(job.app.as_ref(), &job.base, job.policy.clone())),
+        Some(plan) => {
+            let (trace, _) = run_traced(
+                job.app.as_ref(),
+                &job.base,
+                job.policy.clone(),
+                pas2p.instrumentation,
+            );
+            let (bytes, _log) = plan.inject(&trace);
+            pas2p
+                .analyze_bytes_checked(&job.app.name(), &job.app.workload(), &bytes)
+                .map_err(|e| (e.reason, Some(e.ingest)))
+        }
+    }
+}
+
+/// The bounded retry loop around [`attempt`], with the panic boundary.
+/// Never unwinds: a panicking job becomes an `Err` like any other.
+fn attempt_loop(pas2p: &Pas2p, job: &BatchJob, opts: &BatchOptions) -> Outcome {
+    let mut attempts = 0u32;
+    // Every failing iteration assigns before the bound check reads.
+    let mut last_err;
+    let mut last_ingest = None;
+    loop {
+        attempts += 1;
+        match catch_unwind(AssertUnwindSafe(|| attempt(pas2p, job))) {
+            Ok(Ok(analysis)) => {
+                let ingest = analysis.ingest.clone();
+                return Outcome {
+                    result: Ok(analysis),
+                    ingest,
+                    attempts,
+                };
+            }
+            Ok(Err((reason, ingest))) => {
+                last_err = reason;
+                if ingest.is_some() {
+                    last_ingest = ingest;
+                }
+            }
+            Err(payload) => {
+                last_err = panic_message(payload);
+            }
+        }
+        if attempts > opts.max_retries {
+            return Outcome {
+                result: Err(last_err),
+                ingest: last_ingest,
+                attempts,
+            };
+        }
+        if pas2p_obs::enabled() {
+            pas2p_obs::counter("batch.retries").add(1);
+        }
+        // Exponential backoff: opts.retry_backoff × 2^(retry - 1).
+        let factor = 1u32 << (attempts - 1).min(16);
+        std::thread::sleep(opts.retry_backoff * factor);
+    }
+}
+
+fn classify(outcome: &Outcome) -> BatchStatus {
+    match &outcome.result {
+        Ok(a) if a.confidence == Confidence::Degraded => BatchStatus::Degraded,
+        Ok(_) if outcome.attempts > 1 => BatchStatus::Retried,
+        Ok(_) => BatchStatus::Ok,
+        Err(_) => BatchStatus::Failed,
+    }
+}
+
+/// Run one job, enforcing the deadline if there is one. With a deadline
+/// the retry loop runs on a detached thread so the worker can abandon
+/// it; `Pas2p` is `Copy` and the job moves in whole.
+fn run_job(pas2p: &Pas2p, job: BatchJob, opts: &BatchOptions) -> (String, BatchStatus, Outcome) {
+    let app_name = job.app.name();
+    let Some(deadline) = opts.deadline else {
+        let outcome = attempt_loop(pas2p, &job, opts);
+        let status = classify(&outcome);
+        return (app_name, status, outcome);
+    };
+    let (tx, rx) = mpsc::channel();
+    let pas2p = *pas2p;
+    let opts = *opts;
+    std::thread::spawn(move || {
+        let outcome = attempt_loop(&pas2p, &job, &opts);
+        // The receiver may be gone (deadline expired); nothing to do.
+        let _ = tx.send(outcome);
+    });
+    match rx.recv_timeout(deadline) {
+        Ok(outcome) => {
+            let status = classify(&outcome);
+            (app_name, status, outcome)
+        }
+        Err(_) => (
+            app_name,
+            BatchStatus::TimedOut,
+            Outcome {
+                result: Err(format!(
+                    "deadline of {:.3}s expired",
+                    deadline.as_secs_f64()
+                )),
+                ingest: None,
+                attempts: 1,
+            },
+        ),
+    }
+}
+
+/// Analyze every job over a pool of worker threads, with panic
+/// isolation, per-job deadlines and bounded retries per
+/// [`BatchOptions`].
 ///
 /// Workers claim jobs through a shared atomic cursor — no job is run
 /// twice, no job is skipped — and deposit results into the slot of the
-/// job's submission index. The analyses themselves are deterministic, so
-/// the returned report is independent of the worker count and of which
-/// worker happened to claim which job.
-pub fn run_batch(pas2p: &Pas2p, jobs: Vec<BatchJob>, workers: Option<usize>) -> BatchReport {
-    let workers = batch_workers(workers, jobs.len());
+/// job's submission index. The analyses themselves are deterministic,
+/// so [`BatchReport::digest`] is byte-identical for any worker count
+/// and any claiming order.
+pub fn run_batch_with(pas2p: &Pas2p, jobs: Vec<BatchJob>, opts: BatchOptions) -> BatchReport {
+    let njobs = jobs.len();
+    let workers = batch_workers(opts.workers, njobs);
     let mut st = pas2p_obs::stage("batch");
-    st.items(jobs.len() as u64);
+    st.items(njobs as u64);
     if pas2p_obs::enabled() {
-        pas2p_obs::counter("batch.jobs").add(jobs.len() as u64);
+        pas2p_obs::counter("batch.jobs").add(njobs as u64);
         pas2p_obs::gauge("pipeline.par.workers").set(workers as f64);
     }
 
     let cursor = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<BatchResult>>> = Mutex::new((0..jobs.len()).map(|_| None).collect());
-    let jobs = &jobs;
+    let slots: Mutex<Vec<Option<BatchResult>>> = Mutex::new((0..njobs).map(|_| None).collect());
+    // Jobs are owned behind mutexed slots so a worker can take one and
+    // move it into a deadline runner thread.
+    let jobs: Arc<Vec<Mutex<Option<BatchJob>>>> =
+        Arc::new(jobs.into_iter().map(|j| Mutex::new(Some(j))).collect());
+
     let run_one = |index: usize| {
-        let job = &jobs[index];
+        let job = jobs[index]
+            .lock()
+            .take()
+            .expect("the cursor hands each job to exactly one worker");
         let mut st = pas2p_obs::stage("batch.job");
         let started = std::time::Instant::now();
-        let analysis = pas2p.analyze(job.app.as_ref(), &job.base, job.policy.clone());
-        st.items(analysis.trace_events as u64);
+        let (app_name, status, outcome) = run_job(pas2p, job, &opts);
+        if pas2p_obs::enabled() {
+            match status {
+                BatchStatus::Failed => pas2p_obs::counter("batch.failed").add(1),
+                BatchStatus::TimedOut => pas2p_obs::counter("batch.timed_out").add(1),
+                BatchStatus::Degraded => pas2p_obs::counter("batch.degraded").add(1),
+                _ => {}
+            }
+        }
+        let (analysis, error) = match outcome.result {
+            Ok(a) => {
+                st.items(a.trace_events as u64);
+                (Some(a), None)
+            }
+            Err(e) => (None, Some(e)),
+        };
         st.finish();
         BatchResult {
             index,
+            app_name,
+            status,
             analysis,
+            ingest: outcome.ingest,
+            error,
+            attempts: outcome.attempts,
             job_seconds: started.elapsed().as_secs_f64(),
         }
     };
@@ -133,7 +449,7 @@ pub fn run_batch(pas2p: &Pas2p, jobs: Vec<BatchJob>, workers: Option<usize>) -> 
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    if index >= jobs.len() {
+                    if index >= njobs {
                         break;
                     }
                     let result = run_one(index);
@@ -142,7 +458,7 @@ pub fn run_batch(pas2p: &Pas2p, jobs: Vec<BatchJob>, workers: Option<usize>) -> 
             }
         });
     } else {
-        for index in 0..jobs.len() {
+        for index in 0..njobs {
             let result = run_one(index);
             slots.lock()[index] = Some(result);
         }
@@ -161,10 +477,25 @@ pub fn run_batch(pas2p: &Pas2p, jobs: Vec<BatchJob>, workers: Option<usize>) -> 
     }
 }
 
+/// [`run_batch_with`] under default options: no deadlines, no retries —
+/// but still panic-isolated. Kept as the simple entry point for sweeps
+/// of well-behaved jobs.
+pub fn run_batch(pas2p: &Pas2p, jobs: Vec<BatchJob>, workers: Option<usize>) -> BatchReport {
+    run_batch_with(
+        pas2p,
+        jobs,
+        BatchOptions {
+            workers,
+            ..BatchOptions::default()
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use pas2p_machine::cluster_a;
+    use pas2p_signature::RankProgram;
 
     fn jobs_of(names: &[&str]) -> Vec<BatchJob> {
         names
@@ -181,12 +512,13 @@ mod tests {
     /// The determinism surface of one result: everything except host
     /// timing and the metrics snapshot.
     fn key(r: &BatchResult) -> (usize, String, usize, usize, usize) {
+        let a = r.analysis.as_ref().expect("analysis present");
         (
             r.index,
-            r.analysis.app_name.clone(),
-            r.analysis.trace_events,
-            r.analysis.total_phases(),
-            r.analysis.relevant_phases(),
+            a.app_name.clone(),
+            a.trace_events,
+            a.total_phases(),
+            a.relevant_phases(),
         )
     }
 
@@ -198,7 +530,9 @@ mod tests {
         assert_eq!(baseline.results.len(), names.len());
         for (i, r) in baseline.results.iter().enumerate() {
             assert_eq!(r.index, i, "results must be in submission order");
-            assert_eq!(r.analysis.app_name.to_lowercase(), names[i]);
+            assert_eq!(r.status, BatchStatus::Ok);
+            assert_eq!(r.attempts, 1);
+            assert_eq!(r.app_name.to_lowercase(), names[i]);
         }
         for workers in [2, 3, 8] {
             let par = run_batch(&pas2p, jobs_of(&names), Some(workers));
@@ -206,6 +540,11 @@ mod tests {
             let a: Vec<_> = baseline.results.iter().map(key).collect();
             let b: Vec<_> = par.results.iter().map(key).collect();
             assert_eq!(a, b, "worker count {workers} changed the batch output");
+            assert_eq!(
+                baseline.digest(),
+                par.digest(),
+                "digest must be byte-identical across worker counts"
+            );
         }
     }
 
@@ -238,5 +577,160 @@ mod tests {
         assert!(report.results.is_empty());
         assert_eq!(report.workers, 1);
         assert!(report.render().contains("0 job(s)"));
+        assert!(report.all_completed());
+    }
+
+    /// An app whose rank program panics mid-run: the batch must survive
+    /// and classify, never unwind.
+    struct PanickingApp;
+
+    struct PanickingRank;
+    impl RankProgram for PanickingRank {
+        fn prologue(&mut self, _: &mut dyn pas2p_mpisim::Mpi) {}
+        fn steps(&self) -> u64 {
+            1
+        }
+        fn step(&mut self, _: u64, _: &mut dyn pas2p_mpisim::Mpi) {
+            panic!("injected rank panic");
+        }
+        fn epilogue(&mut self, _: &mut dyn pas2p_mpisim::Mpi) {}
+        fn snapshot(&self) -> Vec<u8> {
+            Vec::new()
+        }
+        fn restore(&mut self, _: &[u8]) {}
+    }
+
+    impl MpiApp for PanickingApp {
+        fn name(&self) -> String {
+            "panicker".into()
+        }
+        fn nprocs(&self) -> u32 {
+            2
+        }
+        fn workload(&self) -> String {
+            "panics".into()
+        }
+        fn make_rank(&self, _: u32) -> Box<dyn RankProgram> {
+            Box::new(PanickingRank)
+        }
+    }
+
+    /// An app that sleeps long enough to blow any small deadline.
+    struct SleepyApp;
+
+    struct SleepyRank;
+    impl RankProgram for SleepyRank {
+        fn prologue(&mut self, _: &mut dyn pas2p_mpisim::Mpi) {}
+        fn steps(&self) -> u64 {
+            1
+        }
+        fn step(&mut self, _: u64, _: &mut dyn pas2p_mpisim::Mpi) {
+            std::thread::sleep(Duration::from_millis(400));
+        }
+        fn epilogue(&mut self, _: &mut dyn pas2p_mpisim::Mpi) {}
+        fn snapshot(&self) -> Vec<u8> {
+            Vec::new()
+        }
+        fn restore(&mut self, _: &[u8]) {}
+    }
+
+    impl MpiApp for SleepyApp {
+        fn name(&self) -> String {
+            "sleeper".into()
+        }
+        fn nprocs(&self) -> u32 {
+            1
+        }
+        fn workload(&self) -> String {
+            "sleeps".into()
+        }
+        fn make_rank(&self, _: u32) -> Box<dyn RankProgram> {
+            Box::new(SleepyRank)
+        }
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_classified() {
+        let pas2p = Pas2p::default();
+        let jobs = vec![
+            BatchJob::new(Box::new(PanickingApp), cluster_a()),
+            BatchJob::new(
+                pas2p_apps::by_name("cg", 8).expect("catalog app"),
+                cluster_a(),
+            ),
+        ];
+        let report = run_batch(&pas2p, jobs, Some(2));
+        assert_eq!(report.results[0].status, BatchStatus::Failed);
+        assert!(report.results[0].analysis.is_none());
+        assert!(
+            report.results[0]
+                .error
+                .as_deref()
+                .unwrap()
+                .contains("panic"),
+            "{:?}",
+            report.results[0].error
+        );
+        // The neighbor job is untouched by the panic.
+        assert_eq!(report.results[1].status, BatchStatus::Ok);
+        assert!(!report.all_completed());
+    }
+
+    #[test]
+    fn retries_are_bounded_and_counted() {
+        let pas2p = Pas2p::default();
+        let opts = BatchOptions {
+            workers: Some(1),
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(1),
+            ..BatchOptions::default()
+        };
+        let jobs = vec![BatchJob::new(Box::new(PanickingApp), cluster_a())];
+        let report = run_batch_with(&pas2p, jobs, opts);
+        let r = &report.results[0];
+        assert_eq!(r.status, BatchStatus::Failed);
+        assert_eq!(r.attempts, 3, "1 attempt + 2 retries");
+    }
+
+    #[test]
+    fn deadline_expiry_times_a_job_out() {
+        let pas2p = Pas2p::default();
+        let opts = BatchOptions {
+            workers: Some(2),
+            deadline: Some(Duration::from_millis(60)),
+            ..BatchOptions::default()
+        };
+        let jobs = vec![
+            BatchJob::new(Box::new(SleepyApp), cluster_a()),
+            BatchJob::new(
+                pas2p_apps::by_name("cg", 8).expect("catalog app"),
+                cluster_a(),
+            ),
+        ];
+        let report = run_batch_with(&pas2p, jobs, opts);
+        assert_eq!(report.results[0].status, BatchStatus::TimedOut);
+        assert!(report.results[0].analysis.is_none());
+        // A fast job under the same deadline completes normally.
+        assert_eq!(report.results[1].status, BatchStatus::Ok);
+    }
+
+    #[test]
+    fn fault_job_reports_ingest_and_degrades() {
+        let pas2p = Pas2p::default();
+        let plan = FaultPlan::new(7).with(pas2p_faults::FaultKind::DropRank { rank: 1 });
+        let jobs = vec![BatchJob::new(
+            pas2p_apps::by_name("cg", 8).expect("catalog app"),
+            cluster_a(),
+        )
+        .with_fault(plan)];
+        let report = run_batch(&pas2p, jobs, Some(1));
+        let r = &report.results[0];
+        assert!(
+            matches!(r.status, BatchStatus::Degraded | BatchStatus::Failed),
+            "fault job must be classified, got {:?}",
+            r.status
+        );
+        let ingest = r.ingest.as_ref().expect("fault jobs carry an ingest report");
+        assert!(ingest.is_degraded());
     }
 }

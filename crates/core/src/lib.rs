@@ -39,8 +39,10 @@ pub mod experiment;
 pub mod pipeline;
 pub mod workload;
 
-pub use batch::{run_batch, BatchJob, BatchReport, BatchResult};
-pub use pipeline::{Analysis, Pas2p};
+pub use batch::{
+    run_batch, run_batch_with, BatchJob, BatchOptions, BatchReport, BatchResult, BatchStatus,
+};
+pub use pipeline::{Analysis, AnalysisError, Pas2p};
 
 /// Convenient re-exports of the whole PAS2P stack.
 pub mod prelude {
@@ -59,5 +61,9 @@ pub mod prelude {
         run_traced, MpiApp, Prediction, RankProgram, Signature, SignatureConfig,
         ValidationReport,
     };
-    pub use pas2p_trace::{InstrumentationModel, Trace, TraceCollector, Traced};
+    pub use pas2p_faults::{fault_matrix, FaultKind, FaultPlan};
+    pub use pas2p_trace::{
+        decode_recovering, Confidence, IngestReport, InstrumentationModel, Trace, TraceCollector,
+        Traced,
+    };
 }

@@ -9,7 +9,7 @@ use pas2p_signature::{
     construct_signature, execute_signature, predict, run_plain, run_traced, ConstructionStats,
     ExecError, MpiApp, Prediction, Signature, SignatureConfig, ValidationReport,
 };
-use pas2p_trace::InstrumentationModel;
+use pas2p_trace::{ingest, Confidence, IngestReport, InstrumentationModel};
 use serde::{Deserialize, Serialize};
 
 /// Stage-A output: everything the analysis of one application run on the
@@ -46,6 +46,15 @@ pub struct Analysis {
     /// the analysis ran through [`Pas2p::analyze_checked`]).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub check: Option<CheckReport>,
+    /// Whether the whole run's data reached the analysis. `Degraded`
+    /// means the trace came through the recovering decoder with losses:
+    /// the numbers describe the surviving subset of the run.
+    #[serde(default)]
+    pub confidence: Confidence,
+    /// What the recovering decoder did to the input; absent when the
+    /// trace was collected live (no decode involved).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub ingest: Option<IngestReport>,
 }
 
 impl Analysis {
@@ -59,6 +68,26 @@ impl Analysis {
         self.table.relevant_phases()
     }
 }
+
+/// Analysis from trace bytes failed. The ingest report is always
+/// populated — even a fatally corrupt buffer yields an accounting of
+/// what the recovering decoder saw, so callers (the batch driver, the
+/// CLI) can classify the failure instead of guessing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisError {
+    /// Why the pipeline could not proceed.
+    pub reason: String,
+    /// What ingest recovered before the pipeline gave up.
+    pub ingest: IngestReport,
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.reason)
+    }
+}
+
+impl std::error::Error for AnalysisError {}
 
 /// The PAS2P tool: configuration plus the pipeline entry points.
 #[derive(Debug, Clone, Copy)]
@@ -105,6 +134,7 @@ impl Pas2p {
             analysis: Some(&analysis.analysis),
             table: Some(&analysis.table),
             similarity: self.similarity,
+            ingest: None,
         };
         let report = CheckEngine::with_default_rules().run(&artifacts);
         st.items(report.diagnostics.len() as u64);
@@ -128,6 +158,154 @@ impl Pas2p {
         }
         analysis.check = Some(report);
         analysis
+    }
+
+    /// Stage A from a serialized trace buffer instead of a live run,
+    /// via the recovering decoder: quarantine what cannot be decoded,
+    /// proceed with the surviving ranks, and mark the result
+    /// [`Confidence::Degraded`] when anything was lost. Collective
+    /// `involved` counts are clamped to the surviving participants so
+    /// the PAS2P ordering can complete without the missing ranks.
+    ///
+    /// Errors carry the [`IngestReport`] alongside the reason: an
+    /// unusable buffer or an ordering that still cannot complete
+    /// (e.g. a truncated collective tail) is a classified failure, not
+    /// a panic.
+    pub fn analyze_bytes(
+        &self,
+        app_name: &str,
+        workload: &str,
+        buf: &[u8],
+    ) -> Result<Analysis, AnalysisError> {
+        self.analyze_bytes_inner(app_name, workload, buf, false)
+    }
+
+    /// [`Pas2p::analyze_bytes`], then run the `pas2p-check` engine over
+    /// the recovered artifacts — including the ingest report, so
+    /// `INGEST-*` findings appear alongside the usual families — and
+    /// attach the [`CheckReport`].
+    pub fn analyze_bytes_checked(
+        &self,
+        app_name: &str,
+        workload: &str,
+        buf: &[u8],
+    ) -> Result<Analysis, AnalysisError> {
+        self.analyze_bytes_inner(app_name, workload, buf, true)
+    }
+
+    fn analyze_bytes_inner(
+        &self,
+        app_name: &str,
+        workload: &str,
+        buf: &[u8],
+        checked: bool,
+    ) -> Result<Analysis, AnalysisError> {
+        let _span = pas2p_obs::span("pas2p.pipeline", "analyze_bytes");
+
+        let mut st = pas2p_obs::stage("ingest");
+        let (trace, mut report) = ingest::decode_recovering(buf);
+        let Some(mut trace) = trace else {
+            st.finish();
+            let reason = report
+                .fatal
+                .clone()
+                .unwrap_or_else(|| "trace buffer unusable".to_string());
+            return Err(AnalysisError {
+                reason,
+                ingest: report,
+            });
+        };
+        if report.is_degraded() {
+            report.collectives_clamped = ingest::repair_collectives(&mut trace);
+        }
+        st.items(trace.total_events() as u64);
+        let ingest_seconds = st.finish();
+
+        let mut st = pas2p_obs::stage("pas2p_order");
+        let logical = match pas2p_model::try_pas2p_order(&trace) {
+            Ok(l) => l,
+            Err(e) => {
+                st.finish();
+                return Err(AnalysisError {
+                    reason: format!("ordering failed on recovered trace: {}", e),
+                    ingest: report,
+                });
+            }
+        };
+        st.items(trace.total_events() as u64);
+        let order_seconds = st.finish();
+
+        let analysis = extract_phases(&logical, &self.similarity);
+        let tfat_seconds = ingest_seconds + order_seconds + analysis.analysis_seconds;
+
+        let mut st = pas2p_obs::stage("table");
+        let table = PhaseTable::from_analysis(
+            &analysis,
+            self.signature.relevance_threshold,
+            self.signature.warmup_occurrences,
+            self.signature.measure_occurrences,
+        );
+        st.items(table.rows.len() as u64);
+        st.finish();
+
+        let check = if checked {
+            let mut st = pas2p_obs::stage("check");
+            let artifacts = Artifacts {
+                trace: Some(&trace),
+                logical: Some(&logical),
+                analysis: Some(&analysis),
+                table: Some(&table),
+                similarity: self.similarity,
+                ingest: Some(&report),
+            };
+            let r = CheckEngine::with_default_rules().run(&artifacts);
+            st.items(r.diagnostics.len() as u64);
+            st.finish();
+            Some(r)
+        } else {
+            None
+        };
+
+        let confidence = report.confidence();
+        if confidence == Confidence::Degraded {
+            pas2p_obs::log(
+                Level::Warn,
+                "pas2p.pipeline",
+                "degraded analysis",
+                &[
+                    ("app", app_name.to_string()),
+                    (
+                        "missing_ranks",
+                        report.missing_ranks().len().to_string(),
+                    ),
+                    (
+                        "quarantined",
+                        report.records_quarantined().to_string(),
+                    ),
+                ],
+            );
+        }
+        let metrics = if pas2p_obs::enabled() {
+            Some(pas2p_obs::global().snapshot())
+        } else {
+            None
+        };
+        Ok(Analysis {
+            app_name: app_name.to_string(),
+            workload: workload.to_string(),
+            nprocs: trace.nprocs,
+            base_machine: trace.machine.clone(),
+            trace_bytes: buf.len() as u64,
+            trace_events: trace.total_events(),
+            tfat_seconds,
+            aet_instrumented: trace.elapsed(),
+            analysis,
+            table,
+            metrics,
+            check,
+            confidence,
+            ingest: Some(report),
+        })
     }
 
     /// Stage A up to the machine-independent model only (§3.1–§3.2):
@@ -212,6 +390,8 @@ impl Pas2p {
             table,
             metrics,
             check: None,
+            confidence: Confidence::Full,
+            ingest: None,
         };
         (analysis, trace, logical)
     }
@@ -227,8 +407,11 @@ impl Pas2p {
     ) -> (Signature, ConstructionStats) {
         let _span = pas2p_obs::span("pas2p.pipeline", "construct");
         let mut st = pas2p_obs::stage("construct");
-        let (signature, stats) =
+        let (mut signature, stats) =
             construct_signature(app, &analysis.table, base, policy, self.signature);
+        // A signature built from a degraded analysis stays degraded; the
+        // flag rides through to every prediction it produces.
+        signature.confidence = analysis.confidence;
         st.items(signature.phase_count() as u64);
         st.finish();
         (signature, stats)

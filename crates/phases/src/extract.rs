@@ -110,6 +110,12 @@ pub struct PhaseAnalysis {
     /// obs stage profiler (`extract_phases` stage), so this value and the
     /// recorded stage profile cannot diverge.
     pub analysis_seconds: f64,
+    /// Occurrences whose global span came out negative and were clamped
+    /// to zero duration — evidence of clock trouble in the input. Also
+    /// counted under `extract.negative_span`; `pas2p-check` raises
+    /// `MODEL-SPAN-001` when nonzero.
+    #[serde(default)]
+    pub negative_spans: u64,
 }
 
 impl PhaseAnalysis {
@@ -204,6 +210,7 @@ pub fn extract_phases(lt: &LogicalTrace, cfg: &SimilarityConfig) -> PhaseAnalysi
         phases: merger.phases,
         aet,
         analysis_seconds: st.finish(),
+        negative_spans: merger.negative_spans,
     };
     if pas2p_obs::enabled() {
         pas2p_obs::counter("phases.ticks_scanned").add(ticks.len() as u64);

@@ -372,6 +372,7 @@ mod tests {
             ],
             aet: 100.0,
             analysis_seconds: 0.0,
+            negative_spans: 0,
         };
         let table = PhaseTable::from_analysis(&analysis, 0.01, 1, 1);
         assert_eq!(table.relevant_phases(), 1);

@@ -81,6 +81,11 @@ pub struct Signature {
     pub entries: Vec<SignatureEntry>,
     /// Configuration used to build (and later execute) the signature.
     pub config: SignatureConfig,
+    /// Confidence inherited from the analysis the signature was built
+    /// from: `Degraded` when the trace went through the recovering
+    /// ingest path and lost data on the way.
+    #[serde(default)]
+    pub confidence: pas2p_trace::Confidence,
 }
 
 impl Signature {
@@ -200,6 +205,7 @@ pub fn construct_signature(
         table: table.clone(),
         entries,
         config,
+        confidence: pas2p_trace::Confidence::Full,
     };
 
     let ckpt_bytes = signature.checkpoint_bytes();

@@ -271,14 +271,17 @@ pub fn execute_signature(
             phase_et.record((m.phase_et * 1e6) as u64);
         }
     }
-    Ok(Prediction::from_measurements(
+    let mut prediction = Prediction::from_measurements(
         signature.app_name.clone(),
         signature.base_machine.clone(),
         target.name.clone(),
         n,
         measurements,
         started.elapsed().as_secs_f64(),
-    ))
+    );
+    // A prediction is only as trustworthy as the trace it rests on.
+    prediction.confidence = signature.confidence;
+    Ok(prediction)
 }
 
 /// Rebuild a signature on a machine with a different ISA, "using the

@@ -53,6 +53,10 @@ pub struct Prediction {
     /// (attached by the pipeline layer; absent when observability is off).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub metrics: Option<pas2p_obs::MetricsSnapshot>,
+    /// Confidence inherited from the signature this prediction executed:
+    /// `Degraded` predictions rest on a partially recovered trace.
+    #[serde(default)]
+    pub confidence: pas2p_trace::Confidence,
 }
 
 impl Prediction {
@@ -84,6 +88,7 @@ impl Prediction {
             set,
             wall_seconds,
             metrics: None,
+            confidence: pas2p_trace::Confidence::Full,
         }
     }
 }

@@ -81,6 +81,33 @@ impl<'a> Reader<'a> {
         self.pos += n;
         Ok(s)
     }
+
+    // Fixed-width reads share `take`'s bound check; the conversions keep
+    // a typed error path so no decoder input can reach an unwrap.
+    fn u8(&mut self) -> Result<u8, TraceDecodeError> {
+        self.take(1)?.first().copied().ok_or(TraceDecodeError::Truncated)
+    }
+
+    fn u32(&mut self) -> Result<u32, TraceDecodeError> {
+        self.take(4)?
+            .try_into()
+            .map(u32::from_le_bytes)
+            .map_err(|_| TraceDecodeError::Truncated)
+    }
+
+    fn u64(&mut self) -> Result<u64, TraceDecodeError> {
+        self.take(8)?
+            .try_into()
+            .map(u64::from_le_bytes)
+            .map_err(|_| TraceDecodeError::Truncated)
+    }
+
+    fn f64(&mut self) -> Result<f64, TraceDecodeError> {
+        self.take(8)?
+            .try_into()
+            .map(f64::from_le_bytes)
+            .map_err(|_| TraceDecodeError::Truncated)
+    }
 }
 
 /// The dictionary key: everything about an event except its times, number
@@ -174,8 +201,8 @@ pub fn decompress(buf: &[u8]) -> Result<Trace, TraceDecodeError> {
     if r.take(8)? != CMAGIC {
         return Err(TraceDecodeError::BadMagic);
     }
-    let nprocs = u32::from_le_bytes(r.take(4)?.try_into().unwrap());
-    let mlen = u32::from_le_bytes(r.take(4)?.try_into().unwrap()) as usize;
+    let nprocs = r.u32()?;
+    let mlen = r.u32()? as usize;
     let machine = String::from_utf8_lossy(r.take(mlen)?).into_owned();
 
     let dict_len = r.varint()? as usize;
@@ -184,16 +211,16 @@ pub fn decompress(buf: &[u8]) -> Result<Trace, TraceDecodeError> {
     }
     let mut dict = Vec::with_capacity(dict_len);
     for _ in 0..dict_len {
-        let kind = *r.take(1)?.first().unwrap();
-        let coll = *r.take(1)?.first().unwrap();
+        let kind = r.u8()?;
+        let coll = r.u8()?;
         let peer_raw = r.signed()?;
-        let peer_flags = *r.take(1)?.first().unwrap();
+        let peer_flags = r.u8()?;
         let peer_none = peer_flags & 1 == 1;
         let wildcard = peer_flags & 2 == 2;
         let tag = r.varint()? as u32;
         let size = r.varint()?;
         let involved = r.varint()? as u32;
-        let comm_id = u64::from_le_bytes(r.take(8)?.try_into().unwrap());
+        let comm_id = r.u64()?;
         dict.push(Shape {
             kind,
             coll,
@@ -213,17 +240,25 @@ pub fn decompress(buf: &[u8]) -> Result<Trace, TraceDecodeError> {
         if count > buf.len() {
             return Err(TraceDecodeError::Truncated);
         }
-        let end_time = f64::from_le_bytes(r.take(8)?.try_into().unwrap());
+        let end_time = r.f64()?;
         let mut events = Vec::with_capacity(count);
         let mut last_ns: i64 = 0;
         let mut last_msg: i64 = 0;
         for number in 0..count {
             let sid = r.varint()? as usize;
             let s = dict.get(sid).ok_or(TraceDecodeError::BadTag(sid as u8))?;
-            let post_ns = last_ns + r.signed()?;
-            let complete_ns = post_ns + r.signed()?;
+            // Corrupted varints can decode to extreme deltas; overflow is
+            // a decode error, not an arithmetic fault.
+            let post_ns = last_ns
+                .checked_add(r.signed()?)
+                .ok_or(TraceDecodeError::Truncated)?;
+            let complete_ns = post_ns
+                .checked_add(r.signed()?)
+                .ok_or(TraceDecodeError::Truncated)?;
             last_ns = complete_ns;
-            let msg_id = (last_msg + r.signed()?) as u64;
+            let msg_id = last_msg
+                .checked_add(r.signed()?)
+                .ok_or(TraceDecodeError::Truncated)? as u64;
             last_msg = msg_id as i64;
             events.push(TraceEvent {
                 number: number as u64,

@@ -120,13 +120,13 @@ fn encode_event(e: &TraceEvent, out: &mut Vec<u8>) {
     out.extend_from_slice(&e.comm_id.to_le_bytes()); // 8
 }
 
-struct Cursor<'a> {
-    buf: &'a [u8],
-    pos: usize,
+pub(crate) struct Cursor<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceDecodeError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], TraceDecodeError> {
         if self.pos + n > self.buf.len() {
             return Err(TraceDecodeError::Truncated);
         }
@@ -134,24 +134,41 @@ impl<'a> Cursor<'a> {
         self.pos += n;
         Ok(s)
     }
-    fn u8(&mut self) -> Result<u8, TraceDecodeError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, TraceDecodeError> {
         Ok(self.take(1)?[0])
     }
-    fn u32(&mut self) -> Result<u32, TraceDecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    pub(crate) fn u32(&mut self) -> Result<u32, TraceDecodeError> {
+        // `take` guarantees the width, but the conversion stays a typed
+        // error path: no decoder input may reach an unwrap.
+        let b = self.take(4)?;
+        b.try_into()
+            .map(u32::from_le_bytes)
+            .map_err(|_| TraceDecodeError::Truncated)
     }
-    fn i32(&mut self) -> Result<i32, TraceDecodeError> {
-        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    pub(crate) fn i32(&mut self) -> Result<i32, TraceDecodeError> {
+        let b = self.take(4)?;
+        b.try_into()
+            .map(i32::from_le_bytes)
+            .map_err(|_| TraceDecodeError::Truncated)
     }
-    fn u64(&mut self) -> Result<u64, TraceDecodeError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    pub(crate) fn u64(&mut self) -> Result<u64, TraceDecodeError> {
+        let b = self.take(8)?;
+        b.try_into()
+            .map(u64::from_le_bytes)
+            .map_err(|_| TraceDecodeError::Truncated)
     }
-    fn f64(&mut self) -> Result<f64, TraceDecodeError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    pub(crate) fn f64(&mut self) -> Result<f64, TraceDecodeError> {
+        let b = self.take(8)?;
+        b.try_into()
+            .map(f64::from_le_bytes)
+            .map_err(|_| TraceDecodeError::Truncated)
     }
 }
 
-fn decode_event(cur: &mut Cursor<'_>, process: u32) -> Result<TraceEvent, TraceDecodeError> {
+pub(crate) fn decode_event(
+    cur: &mut Cursor<'_>,
+    process: u32,
+) -> Result<TraceEvent, TraceDecodeError> {
     let number = cur.u64()?;
     let t_post = cur.f64()?;
     let t_complete = cur.f64()?;
@@ -202,9 +219,16 @@ pub fn encode(trace: &Trace) -> Vec<u8> {
     out
 }
 
-/// Decode a binary trace buffer.
-pub fn decode(buf: &[u8]) -> Result<Trace, TraceDecodeError> {
-    let mut cur = Cursor { buf, pos: 0 };
+/// The decoded file header, shared between the strict decoder and the
+/// recovering decoder in [`crate::ingest`].
+pub(crate) struct Header {
+    pub(crate) nprocs: u32,
+    pub(crate) machine: String,
+}
+
+/// Parse the magic/version/nprocs/machine preamble, advancing `cur` to
+/// the first per-process section.
+pub(crate) fn decode_header(cur: &mut Cursor<'_>) -> Result<Header, TraceDecodeError> {
     if cur.take(8)? != MAGIC {
         return Err(TraceDecodeError::BadMagic);
     }
@@ -215,6 +239,13 @@ pub fn decode(buf: &[u8]) -> Result<Trace, TraceDecodeError> {
     let nprocs = cur.u32()?;
     let mlen = cur.u32()? as usize;
     let machine = String::from_utf8_lossy(cur.take(mlen)?).into_owned();
+    Ok(Header { nprocs, machine })
+}
+
+/// Decode a binary trace buffer.
+pub fn decode(buf: &[u8]) -> Result<Trace, TraceDecodeError> {
+    let mut cur = Cursor { buf, pos: 0 };
+    let Header { nprocs, machine } = decode_header(&mut cur)?;
     let mut procs = Vec::with_capacity((nprocs as usize).min(1 << 20));
     for _ in 0..nprocs {
         let process = cur.u32()?;

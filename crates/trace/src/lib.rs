@@ -27,11 +27,15 @@
 pub mod compress;
 pub mod event;
 pub mod format;
+pub mod ingest;
 pub mod recorder;
 
 pub use event::{CollClass, EventKind, ProcessTrace, Trace, TraceEvent};
 pub use format::{TraceDecodeError, EVENT_RECORD_BYTES};
 pub use compress::{compress, decompress};
+pub use ingest::{
+    decode_recovering, repair_collectives, Confidence, IngestReport, RankHealth, RankIngest,
+};
 pub use recorder::{InstrumentationModel, TraceBuildError, TraceCollector, Traced};
 
 #[cfg(test)]

@@ -42,6 +42,7 @@ pub struct TraceCollector {
     machine: String,
     model: InstrumentationModel,
     slots: Mutex<Vec<Option<ProcessTrace>>>,
+    anomalies: Mutex<Vec<TraceBuildError>>,
 }
 
 impl TraceCollector {
@@ -52,6 +53,7 @@ impl TraceCollector {
             machine: machine.into(),
             model,
             slots: Mutex::new(vec![None; nprocs as usize]),
+            anomalies: Mutex::new(Vec::new()),
         }
     }
 
@@ -63,11 +65,21 @@ impl TraceCollector {
     fn deposit(&self, log: ProcessTrace) {
         let mut slots = self.slots.lock();
         let rank = log.process as usize;
-        assert!(
-            slots[rank].is_none(),
-            "rank {} deposited its trace twice",
-            rank
-        );
+        // A misbehaving harness (rank relabeled, finish called twice)
+        // must not abort collection: keep the first deposit, record the
+        // anomaly, and let `try_into_trace` report it.
+        if rank >= slots.len() {
+            self.anomalies
+                .lock()
+                .push(TraceBuildError::UnknownRank(log.process));
+            return;
+        }
+        if slots[rank].is_some() {
+            self.anomalies
+                .lock()
+                .push(TraceBuildError::DuplicateDeposit(log.process));
+            return;
+        }
         slots[rank] = Some(log);
     }
 
@@ -82,6 +94,13 @@ impl TraceCollector {
     /// instead of aborting — the checker's entry path for possibly
     /// incomplete collections.
     pub fn try_into_trace(self) -> Result<Trace, TraceBuildError> {
+        let mut anomalies = self.anomalies.into_inner();
+        if !anomalies.is_empty() {
+            // Deposits may race; report the smallest offender so the
+            // error is deterministic.
+            anomalies.sort();
+            return Err(anomalies[0]);
+        }
         let slots = self.slots.into_inner();
         let mut procs: Vec<ProcessTrace> = Vec::with_capacity(slots.len());
         for (rank, s) in slots.into_iter().enumerate() {
@@ -101,10 +120,15 @@ impl TraceCollector {
 }
 
 /// Errors assembling a [`Trace`] from per-rank deposits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum TraceBuildError {
     /// A rank never deposited its log (it died or `finish` was skipped).
     MissingRank(u32),
+    /// A rank deposited its log twice (`finish` called more than once);
+    /// the first deposit was kept.
+    DuplicateDeposit(u32),
+    /// A deposit was labeled with a rank outside the run and discarded.
+    UnknownRank(u32),
 }
 
 impl std::fmt::Display for TraceBuildError {
@@ -112,6 +136,12 @@ impl std::fmt::Display for TraceBuildError {
         match self {
             TraceBuildError::MissingRank(r) => {
                 write!(f, "rank {} never finished tracing", r)
+            }
+            TraceBuildError::DuplicateDeposit(r) => {
+                write!(f, "rank {} deposited its trace twice", r)
+            }
+            TraceBuildError::UnknownRank(r) => {
+                write!(f, "deposit labeled rank {} is outside the run", r)
             }
         }
     }

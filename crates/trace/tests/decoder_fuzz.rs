@@ -1,0 +1,130 @@
+//! Property tests for decoder robustness: no sequence of byte mutations
+//! applied to a valid trace buffer may panic any decoder. The strict
+//! decoder must return a typed error or a trace; the recovering decoder
+//! must additionally return a trace upholding `Trace::validate` whenever
+//! it returns one at all.
+
+use proptest::prelude::*;
+
+use pas2p_trace::{compress, decompress, format, ingest, CollClass, EventKind};
+use pas2p_trace::{ProcessTrace, Trace, TraceEvent};
+
+fn mk(number: u64, process: u32, kind: EventKind, nprocs: u32) -> TraceEvent {
+    let coll = matches!(kind, EventKind::Coll(_));
+    TraceEvent {
+        number,
+        process,
+        t_post: number as f64,
+        t_complete: number as f64 + 0.5,
+        kind,
+        peer: if coll { None } else { Some((process + 1) % nprocs) },
+        tag: 2,
+        size: 128,
+        involved: if coll { nprocs } else { 1 },
+        msg_id: number + 1,
+        comm_id: if coll { 11 } else { 0 },
+        wildcard: false,
+    }
+}
+
+fn sample(nprocs: u32, events_per_rank: u64) -> Trace {
+    Trace {
+        nprocs,
+        machine: "cluster-A".into(),
+        procs: (0..nprocs)
+            .map(|r| ProcessTrace {
+                process: r,
+                events: (0..events_per_rank)
+                    .map(|i| {
+                        mk(
+                            i,
+                            r,
+                            match i % 3 {
+                                0 => EventKind::Send,
+                                1 => EventKind::Recv,
+                                _ => EventKind::Coll(CollClass::Allreduce),
+                            },
+                            nprocs,
+                        )
+                    })
+                    .collect(),
+                end_time: events_per_rank as f64,
+            })
+            .collect(),
+    }
+}
+
+fn mutate(buf: &mut Vec<u8>, edits: &[(usize, usize)], keep_per_mille: usize) {
+    for &(idx, val) in edits {
+        if !buf.is_empty() {
+            let i = idx % buf.len();
+            buf[i] = (val % 256) as u8;
+        }
+    }
+    let keep = buf.len() * keep_per_mille.min(1000) / 1000;
+    buf.truncate(keep);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The strict decoder returns `Ok` or a typed error — never panics —
+    /// on arbitrarily mutated buffers.
+    #[test]
+    fn strict_decode_never_panics(
+        nprocs in prop_oneof![Just(1u32), Just(2), Just(4)],
+        events in 0u64..12,
+        edits in prop::collection::vec((0usize..1 << 16, 0usize..256), 0..24),
+        keep in 0usize..1001,
+    ) {
+        let mut buf = format::encode(&sample(nprocs, events));
+        mutate(&mut buf, &edits, keep);
+        let _ = format::decode(&buf);
+    }
+
+    /// The recovering decoder never panics, and any trace it salvages
+    /// upholds the full `Trace::validate` contract no matter what the
+    /// mutations did.
+    #[test]
+    fn recovering_decode_salvages_valid_traces(
+        nprocs in prop_oneof![Just(1u32), Just(2), Just(4)],
+        events in 0u64..12,
+        edits in prop::collection::vec((0usize..1 << 16, 0usize..256), 0..24),
+        keep in 0usize..1001,
+    ) {
+        let mut buf = format::encode(&sample(nprocs, events));
+        mutate(&mut buf, &edits, keep);
+        let (trace, report) = ingest::decode_recovering(&buf);
+        prop_assert_eq!(report.bytes_total, buf.len() as u64);
+        if let Some(t) = trace {
+            prop_assert!(t.validate().is_ok(), "salvaged trace violates invariants");
+        } else {
+            prop_assert!(report.fatal.is_some());
+        }
+    }
+
+    /// An unmutated buffer always ingests losslessly at full confidence.
+    #[test]
+    fn clean_buffers_ingest_losslessly(
+        nprocs in prop_oneof![Just(1u32), Just(2), Just(4)],
+        events in 0u64..12,
+    ) {
+        let t = sample(nprocs, events);
+        let (got, report) = ingest::decode_recovering(&format::encode(&t));
+        prop_assert_eq!(got.as_ref(), Some(&t));
+        prop_assert!(!report.is_degraded());
+    }
+
+    /// The compressed-format decoder is equally panic-free.
+    #[test]
+    fn decompress_never_panics(
+        nprocs in prop_oneof![Just(1u32), Just(2), Just(4)],
+        events in 0u64..12,
+        edits in prop::collection::vec((0usize..1 << 16, 0usize..256), 0..24),
+        keep in 0usize..1001,
+    ) {
+        let mut buf = compress(&sample(nprocs, events));
+        mutate(&mut buf, &edits, keep);
+        let _ = decompress(&buf);
+    }
+}

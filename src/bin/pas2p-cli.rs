@@ -35,16 +35,28 @@ const USAGE: &str = "usage:
   pas2p-cli validate  --app NAME --nprocs N --base M --target M
   pas2p-cli check     --app NAME --nprocs N --base M [--json] [--logical-out FILE]
   pas2p-cli check     --logical FILE [--json]
+  pas2p-cli check     --trace FILE [--json]
   pas2p-cli metrics   --analysis FILE
   pas2p-cli batch     --apps NAME[,NAME...] --nprocs N --base M [--workers K] [--out FILE]
+                      [--fault-seed N | --faults FILE] [--deadline-ms N] [--retries N] [--strict]
 machines: A, B, C, D (the paper's clusters)
 batch: one Stage-A analysis per listed application over a worker pool
   (--workers defaults to the core count); the report order and content are
   independent of the worker count
+  --fault-seed N   run each app under the seeded fault matrix (truncation,
+                   corruption, dropped rank, duplicated events) through the
+                   recovering ingest path
+  --faults FILE    fault plans from a spec file (see pas2p-faults), one
+                   batch job per app x plan
+  --deadline-ms N  abandon any job still running after N milliseconds
+  --retries N      retry a failed job up to N times (exponential backoff)
+  --strict         exit 1 if any job failed or timed out (default exit 0)
 check: runs the pas2p-check invariant rules over every pipeline artifact;
   exits 0 when clean, 1 on warnings, 2 on errors (--json for machine output);
   --logical-out dumps the logical trace JSON so it can be re-checked with
-  --logical FILE (model rules only)
+  --logical FILE (model rules only); --trace FILE decodes a binary trace
+  with the recovering ingest path and checks the salvaged trace (INGEST-*
+  rules report what was lost)
 observability (any command):
   --log-level LEVEL   off|error|warn|info|debug|trace (default warn; env PAS2P_LOG)
   --log-file FILE     append JSON-lines log records to FILE (env PAS2P_LOG_FILE)
@@ -56,8 +68,36 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
+/// The two failure shapes of the CLI. Both exit 2, but only misuse of
+/// the command line earns the usage dump; a bad *input* (unreadable,
+/// empty or corrupt file) gets exactly one diagnostic line so scripts
+/// and humans can see the actual problem.
+enum CliError {
+    /// Malformed invocation: unknown command, bad or missing flag.
+    Usage(String),
+    /// The invocation was fine but an input file was not.
+    Input(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError::Usage(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> CliError {
+        CliError::Usage(msg.to_string())
+    }
+}
+
+/// Shorthand for input-file failures inside `run`.
+fn input(msg: String) -> CliError {
+    CliError::Input(msg)
+}
+
 /// Flags that take no value; their presence maps to "true".
-const BOOL_FLAGS: &[&str] = &["json"];
+const BOOL_FLAGS: &[&str] = &["json", "strict"];
 
 /// Parse `--flag value` pairs (and bare boolean flags), reporting exactly
 /// which flag is malformed.
@@ -149,7 +189,7 @@ fn write_or_print(flags: &HashMap<String, String>, json: &str) -> Result<(), Str
     }
 }
 
-fn run(argv: &[String]) -> Result<ExitCode, String> {
+fn run(argv: &[String]) -> Result<ExitCode, CliError> {
     let Some((cmd, rest)) = argv.split_first() else {
         return Err("no command".into());
     };
@@ -157,7 +197,7 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
     let metrics_out = apply_obs_flags(&flags)?;
     let pas2p = Pas2p::default();
 
-    let result: Result<ExitCode, String> = match cmd.as_str() {
+    let result: Result<ExitCode, CliError> = match cmd.as_str() {
         "list" => {
             println!("applications (--app):");
             for name in [
@@ -183,7 +223,8 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
                 analysis.aet_instrumented
             );
             let json = serde_json::to_string_pretty(&analysis).map_err(|e| e.to_string())?;
-            write_or_print(&flags, &json).map(|()| ExitCode::SUCCESS)
+            write_or_print(&flags, &json)?;
+            Ok(ExitCode::SUCCESS)
         }
         "signature" => {
             let app = app(&flags)?;
@@ -198,16 +239,17 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
                 stats.sct
             );
             let json = serde_json::to_string(&signature).map_err(|e| e.to_string())?;
-            write_or_print(&flags, &json).map(|()| ExitCode::SUCCESS)
+            write_or_print(&flags, &json)?;
+            Ok(ExitCode::SUCCESS)
         }
         "predict" => {
             let app = app(&flags)?;
             let target = machine(&flags, "target")?;
             let path = flags.get("signature").ok_or("missing --signature")?;
-            let data =
-                std::fs::read_to_string(path).map_err(|e| format!("reading {}: {}", path, e))?;
-            let signature: Signature =
-                serde_json::from_str(&data).map_err(|e| e.to_string())?;
+            let data = std::fs::read_to_string(path)
+                .map_err(|e| input(format!("reading {}: {}", path, e)))?;
+            let signature: Signature = serde_json::from_str(&data)
+                .map_err(|e| input(format!("parsing {}: {}", path, e)))?;
             let prediction = pas2p
                 .predict(app.as_ref(), &signature, &target, MappingPolicy::Block)
                 .map_err(|e| e.to_string())?;
@@ -237,14 +279,33 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "check" => {
-            let report = if let Some(path) = flags.get("logical") {
+            let report = if let Some(path) = flags.get("trace") {
+                // Recovery mode: decode a binary trace with the
+                // resync-capable ingest path and check whatever
+                // survived; the INGEST-* rules report what was lost.
+                let data = std::fs::read(path)
+                    .map_err(|e| input(format!("reading {}: {}", path, e)))?;
+                if data.is_empty() {
+                    return Err(input(format!("{path} is empty")));
+                }
+                let (trace, ingest) = decode_recovering(&data);
+                if !flags.contains_key("json") {
+                    eprint!("{}", ingest.render());
+                }
+                let artifacts = Artifacts {
+                    trace: trace.as_ref(),
+                    ingest: Some(&ingest),
+                    ..Artifacts::empty()
+                };
+                CheckEngine::with_default_rules().run(&artifacts)
+            } else if let Some(path) = flags.get("logical") {
                 // Artifact mode: check a previously exported logical
                 // trace (model rules only — there is no physical trace
                 // or phase analysis to cross-check against).
                 let data = std::fs::read_to_string(path)
-                    .map_err(|e| format!("reading {}: {}", path, e))?;
-                let logical: LogicalTrace =
-                    serde_json::from_str(&data).map_err(|e| format!("parsing {}: {}", path, e))?;
+                    .map_err(|e| input(format!("reading {}: {}", path, e)))?;
+                let logical: LogicalTrace = serde_json::from_str(&data)
+                    .map_err(|e| input(format!("parsing {}: {}", path, e)))?;
                 if !flags.contains_key("json") {
                     eprintln!(
                         "{}: checked {} ticks, {} events",
@@ -303,39 +364,99 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
                 ),
                 None => None,
             };
-            let jobs: Vec<pas2p::BatchJob> = names
+            // Fault injection: --fault-seed runs the built-in matrix,
+            // --faults loads plans from a spec file. Mutually exclusive.
+            let plans: Vec<(String, FaultPlan)> = match
+                (flags.get("fault-seed"), flags.get("faults"))
+            {
+                (Some(_), Some(_)) => {
+                    return Err("--fault-seed and --faults are mutually exclusive".into());
+                }
+                (Some(seed), None) => {
+                    let seed: u64 = seed
+                        .parse()
+                        .map_err(|_| format!("bad --fault-seed '{seed}'"))?;
+                    fault_matrix(seed)
+                        .into_iter()
+                        .map(|(label, plan)| (label.to_string(), plan))
+                        .collect()
+                }
+                (None, Some(path)) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| input(format!("reading {}: {}", path, e)))?;
+                    pas2p_faults::parse_spec(&text)
+                        .map_err(|e| input(format!("parsing {}: {}", path, e)))?
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, plan)| (format!("plan{i}"), plan))
+                        .collect()
+                }
+                (None, None) => Vec::new(),
+            };
+            let mut opts = pas2p::BatchOptions {
+                workers,
+                ..pas2p::BatchOptions::default()
+            };
+            if let Some(ms) = flags.get("deadline-ms") {
+                let ms: u64 = ms.parse().map_err(|_| format!("bad --deadline-ms '{ms}'"))?;
+                opts.deadline = Some(std::time::Duration::from_millis(ms));
+            }
+            if let Some(n) = flags.get("retries") {
+                opts.max_retries = n.parse().map_err(|_| format!("bad --retries '{n}'"))?;
+            }
+            let apps: Vec<(&str, Box<dyn MpiApp>)> = names
                 .split(',')
                 .map(|name| {
                     let name = name.trim();
                     pas2p_apps::by_name(name, nprocs)
-                        .map(|app| pas2p::BatchJob::new(app, base.clone()))
+                        .map(|app| (name, app))
                         .ok_or_else(|| format!("unknown application '{name}'"))
                 })
                 .collect::<Result<_, _>>()?;
-            let report = pas2p::run_batch(&pas2p, jobs, workers);
+            let mut jobs: Vec<pas2p::BatchJob> = Vec::new();
+            for (name, app) in apps {
+                if plans.is_empty() {
+                    jobs.push(pas2p::BatchJob::new(app, base.clone()));
+                } else {
+                    // One job per app × plan; rebuild the app per plan so
+                    // each job owns its own copy.
+                    for (label, plan) in &plans {
+                        let app = pas2p_apps::by_name(name, nprocs)
+                            .expect("name validated above");
+                        eprintln!("fault job: {name} × {label} ({})", plan.describe());
+                        jobs.push(
+                            pas2p::BatchJob::new(app, base.clone()).with_fault(plan.clone()),
+                        );
+                    }
+                }
+            }
+            let report = pas2p::run_batch_with(&pas2p, jobs, opts);
             eprint!("{}", report.render());
             if flags.contains_key("out") {
                 let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
                 write_or_print(&flags, &json)?;
             }
+            if flags.contains_key("strict") && !report.all_completed() {
+                return Ok(ExitCode::from(1));
+            }
             Ok(ExitCode::SUCCESS)
         }
         "metrics" => {
             let path = flags.get("analysis").ok_or("missing --analysis")?;
-            let data =
-                std::fs::read_to_string(path).map_err(|e| format!("reading {}: {}", path, e))?;
-            let analysis: pas2p::Analysis =
-                serde_json::from_str(&data).map_err(|e| e.to_string())?;
+            let data = std::fs::read_to_string(path)
+                .map_err(|e| input(format!("reading {}: {}", path, e)))?;
+            let analysis: pas2p::Analysis = serde_json::from_str(&data)
+                .map_err(|e| input(format!("parsing {}: {}", path, e)))?;
             let snapshot = analysis.metrics.ok_or_else(|| {
-                format!(
+                input(format!(
                     "{path} carries no metrics snapshot — rerun analyze with --metrics FILE \
                      or PAS2P_OBS=1"
-                )
+                ))
             })?;
             print!("{}", snapshot.render());
             Ok(ExitCode::SUCCESS)
         }
-        other => Err(format!("unknown command '{}'", other)),
+        other => Err(format!("unknown command '{}'", other).into()),
     };
 
     if result.is_ok() {
@@ -358,9 +479,14 @@ fn main() -> ExitCode {
     }
     match run(&argv) {
         Ok(code) => code,
-        Err(e) => {
+        Err(CliError::Usage(e)) => {
             eprintln!("error: {}", e);
             usage()
+        }
+        Err(CliError::Input(e)) => {
+            // Bad input file: one diagnostic line, no usage dump.
+            eprintln!("error: {}", e);
+            ExitCode::from(2)
         }
     }
 }

@@ -85,6 +85,7 @@ fn corrupted_report(
         analysis: Some(&analysis),
         table: Some(&table),
         similarity: cfg,
+        ingest: None,
     };
     CheckEngine::with_default_rules().run(&artifacts)
 }

@@ -232,6 +232,109 @@ fn check_reports_clean_apps_and_json_mode() {
     assert!(report.is_clean());
 }
 
+/// Bad input files (as opposed to bad flags) exit 2 with exactly one
+/// diagnostic line and no usage dump.
+#[test]
+fn unreadable_inputs_exit_two_with_one_line_diagnostic() {
+    for args in [
+        ["check", "--trace", "/nonexistent/pas2p.trace"].as_slice(),
+        ["check", "--logical", "/nonexistent/pas2p.model.json"].as_slice(),
+        ["metrics", "--analysis", "/nonexistent/pas2p.analysis.json"].as_slice(),
+    ] {
+        let out = cli().args(args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("error: reading"), "{args:?}: {stderr}");
+        assert!(
+            !stderr.contains("usage:"),
+            "{args:?}: input errors must not dump usage:\n{stderr}"
+        );
+        assert_eq!(stderr.lines().count(), 1, "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn empty_and_corrupt_traces_are_diagnosed() {
+    let dir = std::env::temp_dir().join("pas2p-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // An empty trace file: one line, exit 2, no usage dump.
+    let empty = dir.join("empty.trace");
+    std::fs::write(&empty, b"").unwrap();
+    let out = cli()
+        .args(["check", "--trace", empty.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("is empty"), "{stderr}");
+    assert!(!stderr.contains("usage:"), "{stderr}");
+
+    // Garbage bytes: the recovering decoder reports a fatal ingest and
+    // the INGEST rule family names it.
+    let garbage = dir.join("garbage.trace");
+    std::fs::write(&garbage, vec![0xA5u8; 256]).unwrap();
+    let out = cli()
+        .args(["check", "--trace", garbage.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("INGEST-FATAL-001"), "{stdout}");
+}
+
+#[test]
+fn batch_fault_seed_runs_the_matrix_and_stays_deterministic() {
+    let run = |workers: &str| {
+        let out = cli()
+            .args([
+                "batch",
+                "--apps",
+                "masterworker",
+                "--nprocs",
+                "4",
+                "--base",
+                "A",
+                "--fault-seed",
+                "42",
+                "--workers",
+                workers,
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stderr).to_string()
+    };
+    let sequential = run("1");
+    // One job per matrix entry, each classified, none at full confidence.
+    assert!(sequential.contains("4 job(s)"), "{sequential}");
+    assert!(
+        !sequential.contains("[ok]"),
+        "fault jobs must not report full confidence:\n{sequential}"
+    );
+    assert!(
+        sequential.contains("[degraded]") || sequential.contains("FAILED"),
+        "{sequential}"
+    );
+    let parallel = run("4");
+    // The per-job lines are identical for any worker count, modulo the
+    // host-clock fields (TFAT/AET and the trailing wall-time summary).
+    let body = |s: &str| {
+        s.lines()
+            // Drop the wall-time summary and the log lines, whose
+            // interleaving depends on worker scheduling.
+            .filter(|l| !l.contains("worker(s)") && !l.starts_with('['))
+            .map(|l| l.split(" TFAT").next().unwrap().to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(body(&sequential), body(&parallel));
+}
+
 /// The acceptance scenario: export the logical model, corrupt it, and the
 /// checker exits non-zero naming the violated rule.
 #[test]

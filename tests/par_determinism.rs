@@ -70,11 +70,12 @@ fn batch_keys(report: &pas2p::BatchReport) -> Vec<(usize, String, usize, PhaseAn
         .results
         .iter()
         .map(|r| {
+            let a = r.analysis.as_ref().expect("catalog jobs complete");
             (
                 r.index,
-                r.analysis.app_name.clone(),
-                r.analysis.trace_events,
-                strip_timing(r.analysis.analysis.clone()),
+                a.app_name.clone(),
+                a.trace_events,
+                strip_timing(a.analysis.clone()),
             )
         })
         .collect()
