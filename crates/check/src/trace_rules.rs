@@ -158,9 +158,10 @@ fn check_wildcards(trace: &Trace, out: &mut Vec<Diagnostic>) {
                     ),
                 )
                 .with_suggestion(
-                    "wildcard receives make the event order run-dependent; \
-                     the PAS2P ordering absorbs this, but signatures from \
-                     different runs may still differ",
+                    "wildcard receives make the event order run-dependent on \
+                     a real machine; the PAS2P ordering absorbs this, and the \
+                     simulator resolves the match deterministically in \
+                     virtual time (earliest departure wins)",
                 ),
             );
         }

@@ -329,6 +329,17 @@ fn attempt_loop(pas2p: &Pas2p, job: &BatchJob, opts: &BatchOptions) -> Outcome {
         if pas2p_obs::enabled() {
             pas2p_obs::counter("batch.retries").add(1);
         }
+        if pas2p_obs::tracing_enabled() {
+            pas2p_obs::instant(
+                "host.batch",
+                "retry",
+                vec![
+                    ("app", job.app.name()),
+                    ("attempt", attempts.to_string()),
+                    ("error", last_err.clone()),
+                ],
+            );
+        }
         // Exponential backoff: opts.retry_backoff × 2^(retry - 1).
         let factor = 1u32 << (attempts - 1).min(16);
         std::thread::sleep(opts.retry_backoff * factor);
@@ -357,9 +368,17 @@ fn run_job(pas2p: &Pas2p, job: BatchJob, opts: &BatchOptions) -> (String, BatchS
     let (tx, rx) = mpsc::channel();
     let pas2p = *pas2p;
     let opts = *opts;
+    // Flow arrow from the claiming worker to the detached deadline
+    // runner, so the timeline shows where the job actually executed.
+    let flow = pas2p_obs::flow_start("host.batch", "deadline handoff", None);
     std::thread::spawn(move || {
+        pas2p_obs::flow_end("host.batch", "deadline handoff", flow);
         let outcome = attempt_loop(&pas2p, &job, &opts);
-        // The receiver may be gone (deadline expired); nothing to do.
+        // Hand buffered events over before signalling completion: the
+        // waiting worker resumes the moment the send lands, and this
+        // detached thread's exit-time drain would race any take() after
+        // that. (On expiry nobody listens and the exit drain suffices.)
+        pas2p_obs::events::flush();
         let _ = tx.send(outcome);
     });
     match rx.recv_timeout(deadline) {
@@ -367,18 +386,30 @@ fn run_job(pas2p: &Pas2p, job: BatchJob, opts: &BatchOptions) -> (String, BatchS
             let status = classify(&outcome);
             (app_name, status, outcome)
         }
-        Err(_) => (
-            app_name,
-            BatchStatus::TimedOut,
-            Outcome {
-                result: Err(format!(
-                    "deadline of {:.3}s expired",
-                    deadline.as_secs_f64()
-                )),
-                ingest: None,
-                attempts: 1,
-            },
-        ),
+        Err(_) => {
+            if pas2p_obs::tracing_enabled() {
+                pas2p_obs::instant(
+                    "host.batch",
+                    "deadline expired",
+                    vec![
+                        ("app", app_name.clone()),
+                        ("deadline_s", format!("{:.3}", deadline.as_secs_f64())),
+                    ],
+                );
+            }
+            (
+                app_name,
+                BatchStatus::TimedOut,
+                Outcome {
+                    result: Err(format!(
+                        "deadline of {:.3}s expired",
+                        deadline.as_secs_f64()
+                    )),
+                    ingest: None,
+                    attempts: 1,
+                },
+            )
+        }
     }
 }
 
@@ -413,7 +444,17 @@ pub fn run_batch_with(pas2p: &Pas2p, jobs: Vec<BatchJob>, opts: BatchOptions) ->
             .lock()
             .take()
             .expect("the cursor hands each job to exactly one worker");
-        let mut st = pas2p_obs::stage("batch.job");
+        // One aggregated histogram for all jobs plus a bounded top-K of
+        // stage profiles after the pool drains — NOT one stage profile
+        // per job, which made snapshot size grow with batch size.
+        let job_span = if pas2p_obs::tracing_enabled() {
+            Some(pas2p_obs::trace_span(
+                "host.job",
+                &format!("job {index}: {}", job.app.name()),
+            ))
+        } else {
+            None
+        };
         let started = std::time::Instant::now();
         let (app_name, status, outcome) = run_job(pas2p, job, &opts);
         if pas2p_obs::enabled() {
@@ -425,13 +466,20 @@ pub fn run_batch_with(pas2p: &Pas2p, jobs: Vec<BatchJob>, opts: BatchOptions) ->
             }
         }
         let (analysis, error) = match outcome.result {
-            Ok(a) => {
-                st.items(a.trace_events as u64);
-                (Some(a), None)
-            }
+            Ok(a) => (Some(a), None),
             Err(e) => (None, Some(e)),
         };
-        st.finish();
+        let job_seconds = started.elapsed().as_secs_f64();
+        if pas2p_obs::enabled() {
+            pas2p_obs::histogram("batch.job_micros").record((job_seconds * 1e6) as u64);
+        }
+        if let Some(span) = job_span {
+            span.finish_with(vec![
+                ("app", app_name.clone()),
+                ("status", status.to_string()),
+                ("attempts", outcome.attempts.to_string()),
+            ]);
+        }
         BatchResult {
             index,
             app_name,
@@ -440,40 +488,78 @@ pub fn run_batch_with(pas2p: &Pas2p, jobs: Vec<BatchJob>, opts: BatchOptions) ->
             ingest: outcome.ingest,
             error,
             attempts: outcome.attempts,
-            job_seconds: started.elapsed().as_secs_f64(),
+            job_seconds,
         }
     };
 
-    if workers > 1 {
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
+    // Always run through the pool, even with one worker: a job must see
+    // the same thread environment (fresh thread, no enclosing timeline
+    // span) regardless of the worker count, or the exported timelines
+    // would nest differently for workers = 1 vs. workers > 1.
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                loop {
                     let index = cursor.fetch_add(1, Ordering::Relaxed);
                     if index >= njobs {
                         break;
                     }
                     let result = run_one(index);
                     slots.lock()[index] = Some(result);
-                });
-            }
-        });
-    } else {
-        for index in 0..njobs {
-            let result = run_one(index);
-            slots.lock()[index] = Some(result);
+                }
+                // The scope unblocks before this thread's TLS
+                // destructors run; flush so a take() right after the
+                // batch returns sees every job span.
+                pas2p_obs::events::flush();
+            });
         }
-    }
+    });
 
     let results: Vec<BatchResult> = slots
         .into_inner()
         .into_iter()
         .map(|r| r.expect("every claimed job deposits a result"))
         .collect();
+    if pas2p_obs::enabled() {
+        record_slowest_jobs(&results);
+    }
     let wall_seconds = st.finish();
     BatchReport {
         results,
         workers,
         wall_seconds,
+    }
+}
+
+/// Stage profiles for only the `SLOWEST_JOBS` slowest jobs of a batch,
+/// keeping the per-job detail that matters (the stragglers) without the
+/// metric-cardinality creep of one profile per job.
+const SLOWEST_JOBS: usize = 8;
+
+fn record_slowest_jobs(results: &[BatchResult]) {
+    let mut order: Vec<&BatchResult> = results.iter().collect();
+    order.sort_by(|a, b| {
+        b.job_seconds
+            .total_cmp(&a.job_seconds)
+            .then(a.index.cmp(&b.index))
+    });
+    for r in order.iter().take(SLOWEST_JOBS) {
+        let items = r
+            .analysis
+            .as_ref()
+            .map(|a| a.trace_events as u64)
+            .unwrap_or(0);
+        let items_per_sec = if r.job_seconds > 0.0 {
+            items as f64 / r.job_seconds
+        } else {
+            0.0
+        };
+        pas2p_obs::global().record_stage(pas2p_obs::StageProfile {
+            name: format!("batch.job[{}#{}]", r.app_name, r.index),
+            wall_seconds: r.job_seconds,
+            items,
+            items_per_sec,
+        });
     }
 }
 

@@ -35,14 +35,18 @@
 
 pub mod baselines;
 pub mod batch;
+pub mod benchrec;
 pub mod experiment;
 pub mod pipeline;
+pub mod timeline;
 pub mod workload;
 
 pub use batch::{
     run_batch, run_batch_with, BatchJob, BatchOptions, BatchReport, BatchResult, BatchStatus,
 };
+pub use benchrec::{append_record, bench_record, BenchAppStat, BenchRecord, BENCH_SCHEMA_VERSION};
 pub use pipeline::{Analysis, AnalysisError, Pas2p};
+pub use timeline::{compose_timeline, validate_chrome_json, TimelineStats};
 
 /// Convenient re-exports of the whole PAS2P stack.
 pub mod prelude {

@@ -324,7 +324,11 @@ impl Pas2p {
         (trace, logical)
     }
 
-    fn analyze_full(
+    /// [`Pas2p::analyze`], keeping the intermediate artifacts: the
+    /// physical trace and the logical trace alongside the analysis.
+    /// This is what the timeline exporter builds the application's
+    /// virtual-time tracks from (`pas2p-cli timeline`).
+    pub fn analyze_full(
         &self,
         app: &dyn MpiApp,
         base: &MachineModel,

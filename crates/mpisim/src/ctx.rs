@@ -19,6 +19,13 @@ use std::time::Duration;
 /// How long a blocked operation sleeps between abort-flag polls.
 const POLL: Duration = Duration::from_millis(2);
 
+/// Consecutive quiet poll windows (no clock published anywhere in the
+/// run) after which a wildcard receive treats the system as quiesced
+/// and commits its best pending candidate. ~100 ms of global silence —
+/// long enough that a merely-preempted rank is vanishingly unlikely to
+/// be mistaken for a parked one.
+const QUIESCE_PATIENCE: u32 = 50;
+
 /// The execution context handed to each rank's closure: implements [`Mpi`]
 /// directly against the simulated machine.
 pub struct RankCtx {
@@ -85,6 +92,97 @@ impl RankCtx {
         }
     }
 
+    /// Publish this rank's virtual clock for wildcard receivers. Must be
+    /// called only *after* any envelope departing at the current clock
+    /// has been handed to the channel: a reader that observes
+    /// `live_clocks[rank] > d` concludes every message from this rank
+    /// departing at or before `d` is already delivered.
+    fn publish_clock(&self) {
+        self.shared.live_clocks[self.rank as usize]
+            .store(self.clock.to_bits(), Ordering::Release);
+        self.shared.progress.fetch_add(1, Ordering::Release);
+    }
+
+    /// `MPI_ANY_SOURCE` receive with a deterministic match.
+    ///
+    /// The physical race — whichever sender's envelope lands first wins —
+    /// is exactly the receive nondeterminism the paper targets with its
+    /// logical ordering, but the *simulator* must stay reproducible: the
+    /// batch driver promises byte-identical reports for any worker
+    /// count. So a wildcard commits conservatively, in virtual time: the
+    /// best pending candidate (minimum `(depart, src, msg_id)`) is taken
+    /// only once every other rank's published clock is strictly past the
+    /// candidate's departure — after which no rank can ever produce an
+    /// earlier-departing message (clocks are monotone, and clocks are
+    /// published only after the channel send). The match then depends
+    /// only on virtual times, never on thread scheduling.
+    ///
+    /// Liveness backstop: if the whole run publishes nothing for
+    /// [`QUIESCE_PATIENCE`] consecutive poll windows, every rank is
+    /// parked and the pending set is final — commit the best candidate.
+    fn recv_wildcard(&mut self, tag: Option<Tag>) -> Envelope {
+        let mut quiet_polls = 0u32;
+        let mut last_progress = self.shared.progress.load(Ordering::Acquire);
+        loop {
+            // Snapshot clocks *before* draining: a stale (smaller) clock
+            // only delays the commit, never admits a wrong one.
+            let snapshot: Vec<u64> = self
+                .shared
+                .live_clocks
+                .iter()
+                .map(|c| c.load(Ordering::Acquire))
+                .collect();
+            self.drain_arrivals();
+            if let Some(i) = self.pending.find_match(None, tag) {
+                let depart = self.pending.depart_of(i);
+                let committable = snapshot.iter().enumerate().all(|(r, &bits)| {
+                    r == self.rank as usize || {
+                        let c = f64::from_bits(bits);
+                        c > depart || c.is_infinite()
+                    }
+                });
+                if committable {
+                    return self.pending.remove(i);
+                }
+            }
+            match self.rx.recv_timeout(POLL) {
+                Ok(env) => {
+                    self.pending.push(env);
+                    quiet_polls = 0;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    self.check_abort();
+                    let progress = self.shared.progress.load(Ordering::Acquire);
+                    if progress == last_progress {
+                        quiet_polls += 1;
+                        if quiet_polls >= QUIESCE_PATIENCE {
+                            if let Some(i) = self.pending.find_match(None, tag) {
+                                return self.pending.remove(i);
+                            }
+                        }
+                    } else {
+                        last_progress = progress;
+                        quiet_polls = 0;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => self.recv_disconnected(None, tag),
+            }
+        }
+    }
+
+    /// All senders hung up while this rank was blocked in a receive:
+    /// either the run is aborting (unwind quietly) or the application
+    /// deadlocked (loud panic).
+    fn recv_disconnected(&self, src: Option<u32>, tag: Option<Tag>) -> ! {
+        if self.shared.abort.load(Ordering::Relaxed) {
+            std::panic::panic_any(SimAbort);
+        }
+        panic!(
+            "rank {} blocked in recv(src={:?}, tag={:?}) with all senders gone",
+            self.rank, src, tag
+        )
+    }
+
     fn coll_slot(&self, group: &Group) -> Arc<CollSlot> {
         let mut slots = self.shared.slots.lock();
         slots
@@ -118,6 +216,7 @@ impl RankCtx {
         match slot.arrive(group, pos, op, input, self.clock, cost_of, &shared.abort) {
             CollWait::Done(res) => {
                 self.clock = res.out_clock;
+                self.publish_clock();
                 self.counters.colls += 1;
                 self.shared.total_colls.fetch_add(1, Ordering::Relaxed);
                 self.after_comm_event();
@@ -148,11 +247,13 @@ impl Mpi for RankCtx {
         }
         let t = self.shared.machine.compute_time(work, self.core_share);
         self.clock += t * self.jitter.compute_factor();
+        self.publish_clock();
     }
 
     fn elapse(&mut self, seconds: f64) {
         debug_assert!(seconds >= 0.0);
         self.clock += seconds;
+        self.publish_clock();
     }
 
     fn send(&mut self, dest: u32, tag: Tag, data: &[u8]) -> u64 {
@@ -196,6 +297,9 @@ impl Mpi for RankCtx {
                 dest, self.rank
             );
         }
+        // Publish strictly after the channel send so wildcard receivers
+        // never conclude this envelope cannot exist.
+        self.publish_clock();
         self.counters.sends += 1;
         if pas2p_obs::enabled() {
             static MSG_BYTES: OnceLock<Arc<pas2p_obs::Histogram>> = OnceLock::new();
@@ -212,24 +316,23 @@ impl Mpi for RankCtx {
             assert!(s < self.size, "recv from rank {} of {}", s, self.size);
         }
         self.check_abort();
-        let env = loop {
-            self.drain_arrivals();
-            if let Some(env) = self.pending.take_match(src, tag) {
-                break env;
-            }
-            match self.rx.recv_timeout(POLL) {
-                Ok(env) => self.pending.push(env),
-                Err(RecvTimeoutError::Timeout) => self.check_abort(),
-                Err(RecvTimeoutError::Disconnected) => {
-                    if self.shared.abort.load(Ordering::Relaxed) {
-                        std::panic::panic_any(SimAbort);
-                    }
-                    panic!(
-                        "rank {} blocked in recv(src={:?}, tag={:?}) with all senders gone",
-                        self.rank, src, tag
-                    )
+        let env = if src.is_some() {
+            // Fully-specified receive: per-(src, tag) FIFO, so the first
+            // matching arrival is the only possible answer — commit
+            // immediately.
+            loop {
+                self.drain_arrivals();
+                if let Some(env) = self.pending.take_match(src, tag) {
+                    break env;
+                }
+                match self.rx.recv_timeout(POLL) {
+                    Ok(env) => self.pending.push(env),
+                    Err(RecvTimeoutError::Timeout) => self.check_abort(),
+                    Err(RecvTimeoutError::Disconnected) => self.recv_disconnected(src, tag),
                 }
             }
+        } else {
+            self.recv_wildcard(tag)
         };
         // Virtual completion: the message physically arrives at
         // depart + wire time; the receive completes no earlier than the
@@ -237,6 +340,7 @@ impl Mpi for RankCtx {
         let arrive = (env.depart + env.wire_cost).max(self.clock);
         debug_assert_eq!(env.dest, self.rank, "misrouted message");
         self.clock = arrive;
+        self.publish_clock();
         self.counters.recvs += 1;
         if pas2p_obs::enabled() {
             // Depth of the unexpected-message queue at match time — the

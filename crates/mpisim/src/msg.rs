@@ -90,6 +90,13 @@ impl PendingQueue {
     /// earlier sends tend to arrive earlier, while still being
     /// deterministic given the same set of arrivals.
     pub fn take_match(&mut self, src: Option<u32>, tag: Option<Tag>) -> Option<Envelope> {
+        self.find_match(src, tag).map(|i| self.items.remove(i))
+    }
+
+    /// Index of the best match for a receive of (`src`, `tag`) without
+    /// removing it — the wildcard receive path inspects the candidate's
+    /// departure time before committing (see `RankCtx::recv_wildcard`).
+    pub fn find_match(&self, src: Option<u32>, tag: Option<Tag>) -> Option<usize> {
         let mut best: Option<usize> = None;
         for (i, e) in self.items.iter().enumerate() {
             if let Some(s) = src {
@@ -114,7 +121,18 @@ impl PendingQueue {
                 }
             }
         }
-        best.map(|i| self.items.remove(i))
+        best
+    }
+
+    /// Departure time of the queued arrival at `i`.
+    pub fn depart_of(&self, i: usize) -> f64 {
+        self.items[i].depart
+    }
+
+    /// Remove and return the queued arrival at `i` (an index obtained
+    /// from [`PendingQueue::find_match`]).
+    pub fn remove(&mut self, i: usize) -> Envelope {
+        self.items.remove(i)
     }
 }
 

@@ -46,6 +46,17 @@ pub(crate) struct Shared {
     pub total_msgs: AtomicU64,
     pub total_bytes: AtomicU64,
     pub total_colls: AtomicU64,
+    /// Each rank's published virtual clock (f64 bit pattern; `INFINITY`
+    /// once the rank's program has returned). A rank publishes *after*
+    /// handing any departed envelope to the channel, so an observer that
+    /// reads `live_clocks[r] > d` knows every message from `r` departing
+    /// at or before `d` has already been delivered — the invariant the
+    /// deterministic wildcard receive relies on.
+    pub live_clocks: Vec<AtomicU64>,
+    /// Bumped on every clock publication; a wildcard receive that sees
+    /// no movement across a full poll window treats the system as
+    /// quiesced (see `RankCtx::recv_wildcard`).
+    pub progress: AtomicU64,
 }
 
 /// Configuration of a simulated run.
@@ -110,6 +121,8 @@ where
         total_msgs: AtomicU64::new(0),
         total_bytes: AtomicU64::new(0),
         total_colls: AtomicU64::new(0),
+        live_clocks: (0..n).map(|_| AtomicU64::new(0f64.to_bits())).collect(),
+        progress: AtomicU64::new(0),
     });
 
     let clocks = Mutex::new(vec![0.0f64; n as usize]);
@@ -124,6 +137,14 @@ where
             let clocks = &clocks;
             let any_aborted = &any_aborted;
             s.spawn(move || {
+                // Timeline span for this rank's host thread (wall-clock
+                // domain; the *virtual* rank timeline is reconstructed
+                // from the recorded trace at export, never sampled here).
+                let rank_span = if pas2p_obs::tracing_enabled() {
+                    Some(pas2p_obs::trace_span("host.rank", &format!("rank {rank}")))
+                } else {
+                    None
+                };
                 let mut ctx = RankCtx::new(rank as u32, n, rx, senders, shared.clone());
                 let result = panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
                 match result {
@@ -143,7 +164,18 @@ where
                         }
                     }
                 }
+                // This rank will never send again: let wildcard
+                // receivers stop waiting on its clock.
+                shared.live_clocks[rank].store(f64::INFINITY.to_bits(), Ordering::Release);
+                shared.progress.fetch_add(1, Ordering::Release);
                 clocks.lock()[rank] = ctx.final_clock();
+                if let Some(span) = rank_span {
+                    span.finish_with(vec![("virtual_clock", format!("{:.6}", ctx.final_clock()))]);
+                    // Scoped threads unblock the scope before TLS
+                    // destructors run; hand the events over while the
+                    // scope still waits on this closure.
+                    pas2p_obs::events::flush();
+                }
             });
         }
     });

@@ -19,6 +19,12 @@
 //!   profiles ([`StageGuard`] wall-clock + events/sec per pipeline stage)
 //!   and the serializable [`MetricsSnapshot`] embedded into
 //!   `Analysis`/`Prediction` JSON and written by `pas2p-cli --metrics`.
+//! * **[`events`]** — timeline tracing: per-thread ring buffers of
+//!   timestamped span/instant/flow events (gated separately via
+//!   [`set_tracing`] / `PAS2P_TRACE=1`), feeding…
+//! * **[`export`]** — …the Chrome Trace Event / Perfetto-compatible
+//!   [`ChromeTrace`] JSON exporter behind `pas2p-cli timeline` and the
+//!   `--trace-out` flags.
 //!
 //! # Cost model
 //!
@@ -53,10 +59,16 @@
 
 #![forbid(unsafe_code)]
 
+pub mod events;
+pub mod export;
 pub mod logger;
 pub mod metrics;
 pub mod registry;
 
+pub use events::{
+    flow_end, flow_start, instant, set_tracing, trace_span, tracing_enabled, EventSpan,
+};
+pub use export::{ChromeEvent, ChromeTrace, CAT_HOST_WORKER, PID_APP, PID_HOST};
 pub use logger::{log, log_enabled, logger, span, Level, Logger, Span};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary};
 pub use registry::{

@@ -87,17 +87,30 @@ impl Registry {
     /// Start timing a pipeline stage. The guard's `finish()` always
     /// returns the elapsed seconds (callers like `tfat_seconds` depend
     /// on it even with observability off); the profile is recorded into
-    /// the registry only when enabled.
+    /// the registry only when enabled. When event tracing is on
+    /// ([`crate::events::set_tracing`]) the guard additionally opens a
+    /// `host.stage` timeline span, so every profiled stage shows up in
+    /// the exported timeline with no extra call-site code.
     pub fn stage(&'static self, name: &'static str) -> StageGuard {
+        let span = if crate::events::tracing_enabled() {
+            Some(crate::events::trace_span("host.stage", name))
+        } else {
+            None
+        };
         StageGuard {
             registry: self,
             name,
             start: Instant::now(),
             items: 0,
+            span,
         }
     }
 
-    fn record_stage(&self, profile: StageProfile) {
+    /// Record a pre-built stage profile directly, bypassing the
+    /// [`StageGuard`] timer. For aggregated profiles a driver computes
+    /// itself (e.g. the batch driver's bounded top-K of slowest jobs);
+    /// callers gate on [`Registry::enabled`] like every other hot site.
+    pub fn record_stage(&self, profile: StageProfile) {
         self.stages.lock().unwrap().push(profile);
     }
 
@@ -162,6 +175,7 @@ pub struct StageGuard {
     name: &'static str,
     start: Instant,
     items: u64,
+    span: Option<crate::events::EventSpan>,
 }
 
 impl StageGuard {
@@ -173,8 +187,11 @@ impl StageGuard {
 
     /// Stop the clock; returns elapsed seconds unconditionally and
     /// records a [`StageProfile`] when observability is enabled.
-    pub fn finish(self) -> f64 {
+    pub fn finish(mut self) -> f64 {
         let wall = self.start.elapsed().as_secs_f64();
+        if let Some(span) = self.span.take() {
+            span.finish_with(vec![("items", self.items.to_string())]);
+        }
         if self.registry.enabled() {
             let items_per_sec = if wall > 0.0 {
                 self.items as f64 / wall
@@ -238,6 +255,77 @@ impl MetricsSnapshot {
                 out.push_str(&format!(
                     "  {:<40} count={} min={} max={} mean={:.1} p50={} p95={} p99={}\n",
                     k, h.count, h.min, h.max, h.mean, h.p50, h.p95, h.p99
+                ));
+            }
+        }
+        out
+    }
+
+    /// Prometheus text exposition format (`pas2p-cli metrics --format
+    /// prom`), so the snapshot can be scraped or pushed without custom
+    /// tooling: counters and gauges map directly, histograms become
+    /// summaries (quantiles + `_sum`/`_count`), and stage profiles
+    /// become `pas2p_stage_*{stage="…"}` gauges. Repeated stage
+    /// profiles are aggregated per stage name — exposition format
+    /// forbids duplicate series.
+    pub fn render_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 6);
+            out.push_str("pas2p_");
+            for c in name.chars() {
+                if c.is_ascii_alphanumeric() {
+                    out.push(c);
+                } else {
+                    out.push('_');
+                }
+            }
+            out
+        }
+        fn label(value: &str) -> String {
+            value
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+        }
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let name = sanitize(k);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            let name = sanitize(k);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            let name = sanitize(k);
+            let sum = h.mean * h.count as f64;
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+                out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+            }
+            out.push_str(&format!("{name}_sum {sum}\n{name}_count {}\n", h.count));
+        }
+        if !self.stages.is_empty() {
+            // Aggregate repeats (one analysis records e.g. several
+            // `extract_phases` profiles across a batch).
+            let mut agg: BTreeMap<&str, (f64, u64)> = BTreeMap::new();
+            for s in &self.stages {
+                let e = agg.entry(s.name.as_str()).or_insert((0.0, 0));
+                e.0 += s.wall_seconds;
+                e.1 += s.items;
+            }
+            out.push_str("# TYPE pas2p_stage_wall_seconds gauge\n");
+            for (name, (wall, _)) in &agg {
+                out.push_str(&format!(
+                    "pas2p_stage_wall_seconds{{stage=\"{}\"}} {wall}\n",
+                    label(name)
+                ));
+            }
+            out.push_str("# TYPE pas2p_stage_items gauge\n");
+            for (name, (_, items)) in &agg {
+                out.push_str(&format!(
+                    "pas2p_stage_items{{stage=\"{}\"}} {items}\n",
+                    label(name)
                 ));
             }
         }
@@ -340,6 +428,38 @@ mod tests {
         assert!(text.contains("render.count"));
         assert!(text.contains("render.hist"));
         assert!(text.contains("enabled"));
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_every_instrument_family() {
+        let reg = Registry::new(true);
+        reg.counter("prom.count").add(3);
+        reg.gauge("prom.gauge").set(2.5);
+        reg.histogram("prom.hist").record(100);
+        reg.record_stage(StageProfile {
+            name: "prom_stage".to_string(),
+            wall_seconds: 0.5,
+            items: 10,
+            items_per_sec: 20.0,
+        });
+        reg.record_stage(StageProfile {
+            name: "prom_stage".to_string(),
+            wall_seconds: 0.25,
+            items: 5,
+            items_per_sec: 20.0,
+        });
+        let text = reg.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE pas2p_prom_count counter"));
+        assert!(text.contains("pas2p_prom_count 3"));
+        assert!(text.contains("# TYPE pas2p_prom_gauge gauge"));
+        assert!(text.contains("pas2p_prom_gauge 2.5"));
+        assert!(text.contains("# TYPE pas2p_prom_hist summary"));
+        assert!(text.contains("pas2p_prom_hist{quantile=\"0.5\"}"));
+        assert!(text.contains("pas2p_prom_hist_count 1"));
+        // Duplicate stage profiles aggregate into one series.
+        assert_eq!(text.matches("pas2p_stage_wall_seconds{stage=\"prom_stage\"}").count(), 1);
+        assert!(text.contains("pas2p_stage_wall_seconds{stage=\"prom_stage\"} 0.75"));
+        assert!(text.contains("pas2p_stage_items{stage=\"prom_stage\"} 15"));
     }
 
     #[test]

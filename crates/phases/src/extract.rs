@@ -392,10 +392,23 @@ impl Merger<'_> {
         let (res_tx, res_rx) = crossbeam::channel::unbounded::<MatchResult>();
         let cfg = *self.cfg;
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            for w in 0..workers {
                 let rx = task_rx.clone();
                 let tx = res_tx.clone();
                 scope.spawn(move || {
+                    // Worker-pool lane on the timeline; dropped by the
+                    // normalized export (lane count varies with the
+                    // parallelism knob, so it cannot be deterministic).
+                    let worker_span = if pas2p_obs::tracing_enabled() {
+                        Some(pas2p_obs::trace_span(
+                            pas2p_obs::CAT_HOST_WORKER,
+                            &format!("extract worker {w}"),
+                        ))
+                    } else {
+                        None
+                    };
+                    let mut tasks_done = 0u64;
+                    let mut worker_compares = 0u64;
                     while let Ok(task) = rx.recv() {
                         let mut compares = 0u64;
                         let mut hit = None;
@@ -406,6 +419,8 @@ impl Merger<'_> {
                                 break;
                             }
                         }
+                        tasks_done += 1;
+                        worker_compares += compares;
                         if tx
                             .send(MatchResult {
                                 round: task.round,
@@ -414,8 +429,17 @@ impl Merger<'_> {
                             })
                             .is_err()
                         {
-                            return;
+                            break;
                         }
+                    }
+                    if let Some(span) = worker_span {
+                        span.finish_with(vec![
+                            ("tasks", tasks_done.to_string()),
+                            ("compares", worker_compares.to_string()),
+                        ]);
+                        // The scope unblocks before this thread's TLS
+                        // destructors run — flush while it still waits.
+                        pas2p_obs::events::flush();
                     }
                 });
             }

@@ -36,9 +36,13 @@ const USAGE: &str = "usage:
   pas2p-cli check     --app NAME --nprocs N --base M [--json] [--logical-out FILE]
   pas2p-cli check     --logical FILE [--json]
   pas2p-cli check     --trace FILE [--json]
-  pas2p-cli metrics   --analysis FILE
+  pas2p-cli metrics   --analysis FILE [--format text|prom]
   pas2p-cli batch     --apps NAME[,NAME...] --nprocs N --base M [--workers K] [--out FILE]
                       [--fault-seed N | --faults FILE] [--deadline-ms N] [--retries N] [--strict]
+  pas2p-cli timeline  --app NAME --nprocs N --base M [--out FILE] [--normalize]
+  pas2p-cli timeline  --trace FILE [--out FILE] [--normalize]
+  pas2p-cli timeline  --validate FILE
+  pas2p-cli bench-report [--nprocs N] [--base M] [--workers K] [--label S] [--record FILE]
 machines: A, B, C, D (the paper's clusters)
 batch: one Stage-A analysis per listed application over a worker pool
   (--workers defaults to the core count); the report order and content are
@@ -51,6 +55,18 @@ batch: one Stage-A analysis per listed application over a worker pool
   --deadline-ms N  abandon any job still running after N milliseconds
   --retries N      retry a failed job up to N times (exponential backoff)
   --strict         exit 1 if any job failed or timed out (default exit 0)
+timeline: export a Chrome Trace / Perfetto JSON timeline (open at
+  ui.perfetto.dev). With --app, runs Stage A under event tracing and emits
+  both the pipeline self-profile (wall clock) and the simulated
+  application's per-rank virtual-time tracks with phase overlays; with
+  --trace, rebuilds the application tracks from a binary trace file;
+  --validate checks a previously exported file against the Trace Event
+  schema; --normalize emits the worker-count-invariant normalized form
+bench-report: run the full application suite through the batch driver and
+  derive a schema-versioned performance record (TFAT, events/sec,
+  jobs/sec); --record FILE appends it to a BENCH_*.json trajectory file,
+  otherwise the record prints to stdout (--nprocs defaults to 8,
+  --base to A)
 check: runs the pas2p-check invariant rules over every pipeline artifact;
   exits 0 when clean, 1 on warnings, 2 on errors (--json for machine output);
   --logical-out dumps the logical trace JSON so it can be re-checked with
@@ -61,6 +77,8 @@ observability (any command):
   --log-level LEVEL   off|error|warn|info|debug|trace (default warn; env PAS2P_LOG)
   --log-file FILE     append JSON-lines log records to FILE (env PAS2P_LOG_FILE)
   --metrics FILE      collect metrics and write the snapshot JSON to FILE (env PAS2P_OBS=1)
+  --trace-out FILE    record timeline events during the command and write the
+                      pipeline self-profile as Chrome Trace JSON (env PAS2P_TRACE=1)
   --help, --version   print this help / the version and exit";
 
 fn usage() -> ExitCode {
@@ -97,7 +115,7 @@ fn input(msg: String) -> CliError {
 }
 
 /// Flags that take no value; their presence maps to "true".
-const BOOL_FLAGS: &[&str] = &["json", "strict"];
+const BOOL_FLAGS: &[&str] = &["json", "strict", "normalize"];
 
 /// Parse `--flag value` pairs (and bare boolean flags), reporting exactly
 /// which flag is malformed.
@@ -158,6 +176,17 @@ fn write_metrics(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// `--trace-out`: drain the event stream recorded during the command
+/// and write the pipeline self-profile as Chrome Trace JSON.
+fn write_trace_out(path: &str, label: &str) -> Result<(), String> {
+    pas2p_obs::set_tracing(false);
+    let events = pas2p_obs::events::take();
+    let doc = pas2p::compose_timeline(&events, None, None, label);
+    std::fs::write(path, doc.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("wrote timeline ({} events) to {path}", doc.events.len());
+    Ok(())
+}
+
 fn machine(flags: &HashMap<String, String>, key: &str) -> Result<MachineModel, String> {
     let name = flags
         .get(key)
@@ -195,6 +224,10 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
     };
     let flags = parse_flags(rest)?;
     let metrics_out = apply_obs_flags(&flags)?;
+    let trace_out = flags.get("trace-out").cloned();
+    if trace_out.is_some() {
+        pas2p_obs::set_tracing(true);
+    }
     let pas2p = Pas2p::default();
 
     let result: Result<ExitCode, CliError> = match cmd.as_str() {
@@ -453,7 +486,153 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
                      or PAS2P_OBS=1"
                 ))
             })?;
-            print!("{}", snapshot.render());
+            match flags.get("format").map(String::as_str).unwrap_or("text") {
+                "text" => print!("{}", snapshot.render()),
+                "prom" | "prometheus" => print!("{}", snapshot.render_prometheus()),
+                other => {
+                    return Err(format!("bad --format '{other}' (text|prom)").into());
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "timeline" => {
+            if let Some(path) = flags.get("validate") {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| input(format!("reading {}: {}", path, e)))?;
+                let stats = pas2p::validate_chrome_json(&text)
+                    .map_err(|e| input(format!("{path}: {e}")))?;
+                println!(
+                    "{path}: valid Chrome Trace JSON — {} events ({} slices, {} instants, \
+                     {} flows, {} metadata) across {} process lanes",
+                    stats.events,
+                    stats.slices,
+                    stats.instants,
+                    stats.flows,
+                    stats.metadata,
+                    stats.pids
+                );
+                Ok(ExitCode::SUCCESS)
+            } else if let Some(path) = flags.get("trace") {
+                // Rebuild the application timeline from a binary trace:
+                // order it, extract phases for the overlay track, and
+                // export the virtual-time domain (no host self-profile —
+                // the run that produced the trace is long gone).
+                let data = std::fs::read(path)
+                    .map_err(|e| input(format!("reading {}: {}", path, e)))?;
+                let (trace, ingest) = decode_recovering(&data);
+                let trace = trace.ok_or_else(|| {
+                    input(format!(
+                        "{path}: {}",
+                        ingest.fatal.clone().unwrap_or_else(|| "trace unusable".into())
+                    ))
+                })?;
+                let logical = try_pas2p_order(&trace)
+                    .map_err(|e| input(format!("{path}: ordering failed: {e}")))?;
+                let analysis = extract_phases(&logical, &pas2p.similarity);
+                let mut doc = pas2p::compose_timeline(&[], Some(&trace), Some(&analysis), path);
+                if flags.contains_key("normalize") {
+                    doc = doc.normalized();
+                }
+                eprintln!(
+                    "timeline: {} ranks, {} events, {} phases",
+                    trace.nprocs,
+                    trace.total_events(),
+                    analysis.total_phases()
+                );
+                write_or_print(&flags, &doc.to_json())?;
+                Ok(ExitCode::SUCCESS)
+            } else {
+                // Live mode: run Stage A under event tracing and compose
+                // both domains — the pipeline self-profile on the wall
+                // clock and the simulated application in virtual time.
+                let app = app(&flags)?;
+                let base = machine(&flags, "base")?;
+                pas2p_obs::events::clear();
+                pas2p_obs::set_tracing(true);
+                let (analysis, trace, _logical) =
+                    pas2p.analyze_full(app.as_ref(), &base, MappingPolicy::Block);
+                pas2p_obs::set_tracing(false);
+                let events = pas2p_obs::events::take();
+                let mut doc = pas2p::compose_timeline(
+                    &events,
+                    Some(&trace),
+                    Some(&analysis.analysis),
+                    &analysis.app_name,
+                );
+                if flags.contains_key("normalize") {
+                    doc = doc.normalized();
+                }
+                eprintln!(
+                    "timeline: {} host events, {} ranks, {} app events, {} phases",
+                    events.len(),
+                    trace.nprocs,
+                    trace.total_events(),
+                    analysis.total_phases()
+                );
+                write_or_print(&flags, &doc.to_json())?;
+                Ok(ExitCode::SUCCESS)
+            }
+        }
+        "bench-report" => {
+            let nprocs: u32 = match flags.get("nprocs") {
+                Some(s) => s.parse().map_err(|_| format!("bad --nprocs '{s}'"))?,
+                None => 8,
+            };
+            let base = match flags.get("base") {
+                Some(_) => machine(&flags, "base")?,
+                None => cluster_a(),
+            };
+            let workers = match flags.get("workers") {
+                Some(w) => Some(
+                    w.parse::<usize>()
+                        .ok()
+                        .filter(|&w| w > 0)
+                        .ok_or_else(|| format!("bad --workers '{w}'"))?,
+                ),
+                None => None,
+            };
+            let label = flags.get("label").cloned().unwrap_or_else(|| "local".into());
+            const SUITE: &[&str] = &[
+                "cg", "bt", "sp", "lu", "ft", "sweep3d", "smg2000", "pop", "moldy", "gromacs",
+                "masterworker",
+            ];
+            let jobs: Vec<pas2p::BatchJob> = SUITE
+                .iter()
+                .map(|n| {
+                    pas2p::BatchJob::new(
+                        pas2p_apps::by_name(n, nprocs).expect("catalog app"),
+                        base.clone(),
+                    )
+                })
+                .collect();
+            let opts = pas2p::BatchOptions {
+                workers,
+                ..pas2p::BatchOptions::default()
+            };
+            let report = pas2p::run_batch_with(&pas2p, jobs, opts);
+            let record = pas2p::bench_record(&report, &label, nprocs, &base.name);
+            eprintln!(
+                "bench-report: {}/{} jobs ok in {:.2}s ({} workers) — \
+                 {:.0} events/s analysis, {:.2} jobs/s",
+                record.jobs_ok,
+                record.jobs,
+                record.batch_wall_seconds,
+                record.batch_workers,
+                record.events_per_sec,
+                record.jobs_per_sec
+            );
+            match flags.get("record") {
+                Some(path) => {
+                    let len = pas2p::append_record(std::path::Path::new(path), &record)
+                        .map_err(|e| input(e.to_string()))?;
+                    println!("appended record #{len} to {path}");
+                }
+                None => {
+                    let json =
+                        serde_json::to_string_pretty(&record).map_err(|e| e.to_string())?;
+                    println!("{json}");
+                }
+            }
             Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command '{}'", other).into()),
@@ -462,6 +641,9 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
     if result.is_ok() {
         if let Some(path) = metrics_out {
             write_metrics(&path)?;
+        }
+        if let Some(path) = trace_out {
+            write_trace_out(&path, cmd)?;
         }
     }
     result

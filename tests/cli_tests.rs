@@ -335,6 +335,182 @@ fn batch_fault_seed_runs_the_matrix_and_stays_deterministic() {
     assert_eq!(body(&sequential), body(&parallel));
 }
 
+/// The timeline acceptance path: export a timeline for a live run, have
+/// the CLI validate it, and confirm both domains are present — pipeline
+/// stage spans (wall clock) and per-rank application tracks with the
+/// phase overlay (virtual time).
+#[test]
+fn timeline_exports_validate_and_carry_both_domains() {
+    let dir = std::env::temp_dir().join("pas2p-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cg.timeline.json");
+    let path_str = path.to_str().unwrap();
+
+    let out = cli()
+        .args([
+            "timeline", "--app", "cg", "--nprocs", "8", "--base", "A", "--out", path_str,
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let json = std::fs::read_to_string(&path).unwrap();
+    let stats = pas2p::validate_chrome_json(&json).expect("exported timeline is valid");
+    assert!(stats.slices > 0 && stats.metadata > 0);
+    assert_eq!(stats.pids, 2, "host and app process lanes");
+    // Pipeline self-profile on the wall clock…
+    for stage in ["run_traced", "pas2p_order", "extract_phases", "table"] {
+        assert!(json.contains(stage), "missing stage span {stage}");
+    }
+    // …and the application in virtual time, with the phase overlay.
+    assert!(json.contains("\"rank 0\"") && json.contains("\"rank 7\""));
+    assert!(json.contains("\"phases\""));
+    assert!(json.contains("\"phase "), "phase occurrence slices present");
+
+    // The CLI validator agrees.
+    let out = cli()
+        .args(["timeline", "--validate", path_str])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("valid Chrome Trace JSON"));
+
+    // A non-timeline file is rejected with a one-line diagnostic.
+    let bogus = dir.join("bogus.json");
+    std::fs::write(&bogus, "{\"traceEvents\": 3}").unwrap();
+    let out = cli()
+        .args(["timeline", "--validate", bogus.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+/// `--trace-out` on an ordinary command records the pipeline
+/// self-profile without changing the command's own output.
+#[test]
+fn trace_out_flag_writes_host_timeline() {
+    let dir = std::env::temp_dir().join("pas2p-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mw.selfprofile.json");
+
+    let out = cli()
+        .args([
+            "analyze",
+            "--app",
+            "masterworker",
+            "--nprocs",
+            "4",
+            "--base",
+            "A",
+            "--out",
+            dir.join("mw.tout.analysis.json").to_str().unwrap(),
+            "--trace-out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = std::fs::read_to_string(&path).unwrap();
+    let stats = pas2p::validate_chrome_json(&json).expect("self-profile is valid");
+    assert!(stats.slices > 0);
+    assert!(json.contains("run_traced"), "stage spans recorded");
+    assert!(json.contains("\"rank 0\""), "rank threads recorded");
+}
+
+#[test]
+fn metrics_format_prom_emits_exposition() {
+    let dir = std::env::temp_dir().join("pas2p-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let analysis_path = dir.join("mw.prom.analysis.json");
+    let out = cli()
+        .args([
+            "analyze",
+            "--app",
+            "masterworker",
+            "--nprocs",
+            "4",
+            "--base",
+            "A",
+            "--out",
+            analysis_path.to_str().unwrap(),
+            "--metrics",
+            dir.join("mw.prom.metrics.json").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = cli()
+        .args([
+            "metrics",
+            "--analysis",
+            analysis_path.to_str().unwrap(),
+            "--format",
+            "prom",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("# TYPE pas2p_mpisim_messages counter"), "{stdout}");
+    assert!(stdout.contains("pas2p_stage_wall_seconds{stage=\"run_traced\"}"), "{stdout}");
+
+    let out = cli()
+        .args([
+            "metrics",
+            "--analysis",
+            analysis_path.to_str().unwrap(),
+            "--format",
+            "xml",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "unknown format must fail");
+}
+
+#[test]
+fn bench_report_prints_and_appends_records() {
+    let dir = std::env::temp_dir().join("pas2p-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let record_path = dir.join("BENCH_cli_test.json");
+    let _ = std::fs::remove_file(&record_path);
+
+    // Without --record the record prints to stdout.
+    let out = cli()
+        .args(["bench-report", "--nprocs", "4", "--label", "t1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let record: pas2p::BenchRecord =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(record.schema, pas2p::BENCH_SCHEMA_VERSION);
+    assert_eq!(record.jobs, 11, "the full application suite");
+    assert_eq!(record.jobs_ok, 11);
+    assert!(record.events_per_sec > 0.0);
+    assert!(record.jobs_per_sec > 0.0);
+    assert_eq!(record.label, "t1");
+
+    // With --record the file accumulates a trajectory.
+    for _ in 0..2 {
+        let out = cli()
+            .args([
+                "bench-report",
+                "--nprocs",
+                "4",
+                "--record",
+                record_path.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+    let trajectory: Vec<pas2p::BenchRecord> =
+        serde_json::from_str(&std::fs::read_to_string(&record_path).unwrap()).unwrap();
+    assert_eq!(trajectory.len(), 2);
+    let _ = std::fs::remove_file(&record_path);
+}
+
 /// The acceptance scenario: export the logical model, corrupt it, and the
 /// checker exits non-zero naming the violated rule.
 #[test]

@@ -8,6 +8,16 @@ use pas2p::prelude::*;
 use pas2p::{run_batch, BatchJob, Pas2p};
 use pas2p_phases::PhaseAnalysis;
 
+/// Event tracing is process-global: while a timeline test has it
+/// enabled, *any* concurrently running test would record its stage
+/// spans into the shared stream and corrupt the byte-identity
+/// comparison. Every test in this binary therefore serializes on this
+/// lock.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
 const APPS: &[&str] = &[
     "cg",
     "bt",
@@ -37,6 +47,7 @@ fn tool_with_parallelism(parallelism: Option<usize>) -> Pas2p {
 
 #[test]
 fn extraction_is_parallelism_invariant_for_every_app() {
+    let _serial = serial();
     let base = cluster_a();
     for name in APPS {
         let app = pas2p_apps::by_name(name, 8).expect("catalog app");
@@ -83,6 +94,7 @@ fn batch_keys(report: &pas2p::BatchReport) -> Vec<(usize, String, usize, PhaseAn
 
 #[test]
 fn batch_is_worker_count_invariant_over_the_catalog() {
+    let _serial = serial();
     let pas2p = Pas2p::default();
     let jobs = || -> Vec<BatchJob> {
         APPS.iter()
@@ -101,8 +113,85 @@ fn batch_is_worker_count_invariant_over_the_catalog() {
     }
 }
 
+/// Run `f` with event tracing on and return the recorded host events.
+/// Callers hold the [`serial`] lock, so the drained stream contains
+/// only this closure's events.
+fn traced<T>(f: impl FnOnce() -> T) -> (T, Vec<pas2p_obs::events::Event>) {
+    pas2p_obs::events::clear();
+    pas2p_obs::set_tracing(true);
+    let out = f();
+    pas2p_obs::set_tracing(false);
+    let events = pas2p_obs::events::take();
+    (out, events)
+}
+
+/// The normalized timeline export must be byte-identical across
+/// extraction parallelism: host wall-clock detail is stripped by
+/// `normalized()`, and the virtual-time application tracks (including
+/// the remapped message-flow ids and phase overlays) are deterministic
+/// by construction.
+#[test]
+fn timeline_export_is_parallelism_invariant() {
+    let _serial = serial();
+    let base = cluster_a();
+    let export = |parallelism: Option<usize>| -> String {
+        let tool = tool_with_parallelism(parallelism);
+        let app = pas2p_apps::by_name("cg", 8).expect("catalog app");
+        let ((analysis, trace, _), events) =
+            traced(|| tool.analyze_full(app.as_ref(), &base, MappingPolicy::Block));
+        let doc =
+            pas2p::compose_timeline(&events, Some(&trace), Some(&analysis.analysis), "cg");
+        doc.normalized().to_json()
+    };
+    let baseline = export(Some(1));
+    pas2p::validate_chrome_json(&baseline).expect("normalized export is valid Trace Event JSON");
+    assert!(
+        baseline.contains("\"rank 0\"") && baseline.contains("\"phases\""),
+        "app tracks and phase overlay present"
+    );
+    assert!(
+        baseline.contains("extract_phases"),
+        "pipeline stage spans present"
+    );
+    for parallelism in [None, Some(4), Some(8)] {
+        assert_eq!(
+            baseline,
+            export(parallelism),
+            "extraction parallelism {parallelism:?} changed the normalized timeline"
+        );
+    }
+}
+
+/// Same contract for the batch driver: the self-profile timeline of a
+/// batch run, normalized, must not depend on the worker count.
+#[test]
+fn batch_timeline_is_worker_count_invariant() {
+    let _serial = serial();
+    let pas2p = Pas2p::default();
+    let export = |workers: usize| -> String {
+        let jobs: Vec<BatchJob> = ["cg", "ft", "moldy"]
+            .iter()
+            .map(|n| BatchJob::new(pas2p_apps::by_name(n, 8).expect("catalog app"), cluster_a()))
+            .collect();
+        let (_, events) = traced(|| run_batch(&pas2p, jobs, Some(workers)));
+        let doc = pas2p::compose_timeline(&events, None, None, "batch");
+        doc.normalized().to_json()
+    };
+    let baseline = export(1);
+    pas2p::validate_chrome_json(&baseline).expect("valid Trace Event JSON");
+    assert!(baseline.contains("\"job 0: CG\""), "job spans present");
+    for workers in [2, 3] {
+        assert_eq!(
+            baseline,
+            export(workers),
+            "worker count {workers} changed the normalized batch timeline"
+        );
+    }
+}
+
 #[test]
 fn batch_is_submission_order_invariant() {
+    let _serial = serial();
     let pas2p = Pas2p::default();
     let jobs = |names: &[&str]| -> Vec<BatchJob> {
         names
