@@ -1,0 +1,64 @@
+//! Check-engine throughput: the full rule set (trace, happens-before,
+//! model, signature families) over one application's complete artifact
+//! set, sequentially and fanned over a worker pool. The engine promises
+//! a byte-identical report at any worker count, so the only thing the
+//! pool may change is the wall clock measured here — the same quantity
+//! `pas2p-cli bench-report` records into the bench trajectory as
+//! diagnostics/sec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pas2p_check::{Artifacts, CheckEngine};
+use pas2p_machine::{cluster_a, MappingPolicy};
+use pas2p_model::pas2p_order;
+use pas2p_phases::{extract_phases, PhaseTable, SimilarityConfig};
+use pas2p_signature::run_traced;
+use pas2p_trace::InstrumentationModel;
+
+fn bench_check_engine(c: &mut Criterion) {
+    let app = pas2p_apps::by_name("masterworker", 8).expect("catalog app");
+    let base = cluster_a();
+    let (trace, _) = run_traced(
+        app.as_ref(),
+        &base,
+        MappingPolicy::Block,
+        InstrumentationModel::default(),
+    );
+    let logical = pas2p_order(&trace);
+    let cfg = SimilarityConfig::default();
+    let analysis = extract_phases(&logical, &cfg);
+    let table = PhaseTable::from_analysis(&analysis, 0.01, 0, 1);
+    let artifacts = Artifacts {
+        trace: Some(&trace),
+        logical: Some(&logical),
+        analysis: Some(&analysis),
+        table: Some(&table),
+        similarity: cfg,
+        ingest: None,
+    };
+
+    // Sanity: the pool must not change the report before we time it.
+    let baseline = CheckEngine::with_default_rules().run(&artifacts);
+    for workers in [2usize, 8] {
+        let par = CheckEngine::with_default_rules()
+            .with_workers(workers)
+            .run(&artifacts);
+        assert_eq!(
+            baseline.diagnostics, par.diagnostics,
+            "engine not worker-count invariant at {workers}"
+        );
+    }
+
+    let events = trace.total_events() as u64;
+    let mut g = c.benchmark_group("check_engine");
+    g.throughput(Throughput::Elements(events));
+    for workers in [1usize, 2, 4, 8] {
+        let engine = CheckEngine::with_default_rules().with_workers(workers);
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+            b.iter(|| engine.run(&artifacts))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_check_engine);
+criterion_main!(benches);

@@ -30,7 +30,7 @@ impl std::fmt::Display for Severity {
 /// All fields are optional: a trace-level finding has a rank and maybe an
 /// event number but no tick; a model finding has a tick; a signature
 /// finding has a phase.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Location {
     /// Process rank, when the finding is attributable to one.
     #[serde(default, skip_serializing_if = "Option::is_none")]
@@ -151,6 +151,20 @@ impl Diagnostic {
     pub fn with_suggestion(mut self, s: impl Into<String>) -> Diagnostic {
         self.suggestion = Some(s.into());
         self
+    }
+
+    /// A stable identity for baselining: rule code, location, and a hash
+    /// of the message. Survives re-runs and engine-internal reordering;
+    /// changes when the finding itself changes (different counts,
+    /// different peers), which is what a suppression should key on.
+    pub fn fingerprint(&self) -> String {
+        // FNV-1a, 64-bit: tiny, dependency-free, stable across platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.message.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{}@{}#{:016x}", self.code, self.location, h)
     }
 }
 

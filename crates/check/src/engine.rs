@@ -1,10 +1,31 @@
 //! The rule engine: artifacts in, report out.
+//!
+//! Rule families are independent — none reads another's findings — so
+//! the engine fans them out over a small worker pool
+//! ([`CheckEngine::with_workers`]). Determinism is non-negotiable for a
+//! linter (CI diffs reports byte-for-byte), and it is guaranteed
+//! structurally rather than by scheduling luck:
+//!
+//! 1. every family writes into its own slot, claimed off an atomic
+//!    cursor, so no interleaving of worker progress mixes outputs;
+//! 2. slots merge in family-insertion order;
+//! 3. the merged list gets a **canonical total sort** — severity
+//!    (descending), then code, location, message, suggestion — under
+//!    which any merge order yields the same bytes;
+//! 4. duplicate findings (same code, same location) collapse to the
+//!    canonically first one.
+//!
+//! The same report comes out at 1 worker or 8; `tests/checker_tests.rs`
+//! locks that in.
 
 use crate::diag::{Diagnostic, Severity};
 use pas2p_model::LogicalTrace;
 use pas2p_phases::{PhaseAnalysis, PhaseTable, SimilarityConfig};
 use pas2p_trace::{IngestReport, Trace};
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Everything a rule may look at. Each stage is optional so the engine
 /// can check whatever subset of the pipeline the caller has — rules skip
@@ -42,7 +63,11 @@ impl<'a> Artifacts<'a> {
 }
 
 /// One family of related rules, run as a unit over the artifacts.
-pub trait Checker {
+///
+/// `Send + Sync` because families run concurrently on borrowed
+/// artifacts; rules are pure functions of their inputs, so this costs
+/// nothing in practice.
+pub trait Checker: Send + Sync {
     /// Stable name of the rule family (shows up in metrics).
     fn name(&self) -> &'static str;
     /// Inspect the artifacts, pushing one diagnostic per finding.
@@ -120,7 +145,12 @@ pub fn hit_metric(code: &str) -> &'static str {
         "P2P-MATCH-004" => "check.hit.p2p_match_004",
         "P2P-MATCH-005" => "check.hit.p2p_match_005",
         "WILD-RECV-001" => "check.hit.wild_recv_001",
+        "WILD-RECV-002" => "check.hit.wild_recv_002",
         "WFG-CYCLE-001" => "check.hit.wfg_cycle_001",
+        "MSG-RACE-001" => "check.hit.msg_race_001",
+        "MSG-RACE-002" => "check.hit.msg_race_002",
+        "DLK-POT-001" => "check.hit.dlk_pot_001",
+        "SIG-STAB-001" => "check.hit.sig_stab_001",
         "LT-RECV-001" => "check.hit.lt_recv_001",
         "LT-COLL-001" => "check.hit.lt_coll_001",
         "MODEL-TICK-001" => "check.hit.model_tick_001",
@@ -145,28 +175,63 @@ pub fn hit_metric(code: &str) -> &'static str {
     }
 }
 
-/// The diagnostics engine: an ordered list of rule families.
+/// The canonical total order of a report: severity descending, then
+/// code, location, message, suggestion. Total (no ties between distinct
+/// diagnostics), so the sorted report is independent of production
+/// order — the keystone of worker-count invariance.
+fn canonical_key(d: &Diagnostic) -> impl Ord + '_ {
+    (
+        std::cmp::Reverse(d.severity),
+        &d.code,
+        d.location.rank,
+        d.location.event,
+        d.location.tick,
+        d.location.phase,
+        &d.message,
+        &d.suggestion,
+    )
+}
+
+/// The diagnostics engine: an ordered list of rule families and a
+/// worker count.
 pub struct CheckEngine {
     checkers: Vec<Box<dyn Checker>>,
+    workers: usize,
 }
 
 impl CheckEngine {
-    /// An engine with no rules (add with [`CheckEngine::push`]).
+    /// An engine with no rules (add with [`CheckEngine::push`]) running
+    /// single-threaded.
     pub fn new() -> CheckEngine {
         CheckEngine {
             checkers: Vec::new(),
+            workers: 1,
         }
     }
 
-    /// The full shipped rule set: ingest, trace, model, and signature
-    /// families.
+    /// The full shipped rule set: ingest, trace, happens-before, model,
+    /// and signature families.
     pub fn with_default_rules() -> CheckEngine {
         let mut e = CheckEngine::new();
         e.push(Box::new(crate::ingest_rules::IngestRules));
         e.push(Box::new(crate::trace_rules::TraceRules));
+        e.push(Box::new(crate::race_rules::HbRules));
         e.push(Box::new(crate::model_rules::ModelRules));
         e.push(Box::new(crate::signature_rules::SignatureRules));
         e
+    }
+
+    /// Set the number of worker threads (clamped to at least 1). The
+    /// report is byte-identical at any setting; workers only change
+    /// wall-clock time.
+    pub fn with_workers(mut self, workers: usize) -> CheckEngine {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Append a rule family; families run in insertion order.
@@ -177,23 +242,58 @@ impl CheckEngine {
     /// Run every rule family over the artifacts.
     ///
     /// When `pas2p-obs` is enabled, bumps a `check.hit.*` counter per
-    /// finding and `check.runs` once.
+    /// finding, `check.runs` once, and the `check.par.workers` gauge.
     pub fn run(&self, artifacts: &Artifacts<'_>) -> CheckReport {
-        let mut diagnostics = Vec::new();
-        for c in &self.checkers {
-            let before = diagnostics.len();
-            c.check(artifacts, &mut diagnostics);
-            if pas2p_obs::enabled() {
-                for d in &diagnostics[before..] {
-                    pas2p_obs::counter(hit_metric(&d.code)).add(1);
+        let nfam = self.checkers.len();
+        let mut slots: Vec<Vec<Diagnostic>> = Vec::with_capacity(nfam);
+        if self.workers <= 1 || nfam <= 1 {
+            for c in &self.checkers {
+                let mut out = Vec::new();
+                c.check(artifacts, &mut out);
+                slots.push(out);
+            }
+        } else {
+            // Fan-out: workers claim family indices off an atomic cursor
+            // and park results in per-family slots. The slot vector —
+            // not worker identity or finish order — carries the merge
+            // order, so scheduling cannot leak into the report.
+            let cursor = AtomicUsize::new(0);
+            let results: Vec<Mutex<Vec<Diagnostic>>> =
+                (0..nfam).map(|_| Mutex::new(Vec::new())).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..self.workers.min(nfam) {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= nfam {
+                            break;
+                        }
+                        let mut out = Vec::new();
+                        self.checkers[i].check(artifacts, &mut out);
+                        *results[i].lock().expect("slot lock poisoned") = out;
+                    });
                 }
+            });
+            for slot in results {
+                slots.push(slot.into_inner().expect("slot lock poisoned"));
             }
         }
-        // Most severe first; ties keep rule order (stable sort).
-        diagnostics.sort_by_key(|d| std::cmp::Reverse(d.severity));
+
+        let mut diagnostics: Vec<Diagnostic> = slots.into_iter().flatten().collect();
+        if pas2p_obs::enabled() {
+            for d in &diagnostics {
+                pas2p_obs::counter(hit_metric(&d.code)).add(1);
+            }
+        }
+        diagnostics.sort_by(|a, b| canonical_key(a).cmp(&canonical_key(b)));
+        // Identical (code, severity, location) triples are one finding
+        // reported twice — e.g. two rule paths seeing the same broken
+        // event; the canonical sort makes "first" deterministic.
+        let mut seen: HashSet<(String, Severity, crate::diag::Location)> = HashSet::new();
+        diagnostics.retain(|d| seen.insert((d.code.clone(), d.severity, d.location.clone())));
         if pas2p_obs::enabled() {
             pas2p_obs::counter("check.runs").add(1);
             pas2p_obs::counter("check.findings").add(diagnostics.len() as u64);
+            pas2p_obs::gauge("check.par.workers").set(self.workers as f64);
         }
         CheckReport { diagnostics }
     }
@@ -254,6 +354,63 @@ mod tests {
     #[test]
     fn hit_metric_is_total() {
         assert_eq!(hit_metric("LT-RECV-001"), "check.hit.lt_recv_001");
+        assert_eq!(hit_metric("MSG-RACE-001"), "check.hit.msg_race_001");
         assert_eq!(hit_metric("NO-SUCH-999"), "check.hit.other");
+    }
+
+    /// Distinct messages at the same (code, location) collapse to the
+    /// canonically first; distinct locations survive.
+    #[test]
+    fn dedup_collapses_same_code_and_location() {
+        struct Dup;
+        impl Checker for Dup {
+            fn name(&self) -> &'static str {
+                "dup"
+            }
+            fn check(&self, _a: &Artifacts<'_>, out: &mut Vec<Diagnostic>) {
+                out.push(Diagnostic::new(
+                    "D-001",
+                    Severity::Warning,
+                    Location::rank(1),
+                    "b",
+                ));
+                out.push(Diagnostic::new(
+                    "D-001",
+                    Severity::Warning,
+                    Location::rank(1),
+                    "a",
+                ));
+                out.push(Diagnostic::new(
+                    "D-001",
+                    Severity::Warning,
+                    Location::rank(2),
+                    "c",
+                ));
+            }
+        }
+        let mut e = CheckEngine::new();
+        e.push(Box::new(Dup));
+        let r = e.run(&Artifacts::empty());
+        assert_eq!(r.diagnostics.len(), 2);
+        assert_eq!(r.diagnostics[0].message, "a");
+        assert_eq!(r.diagnostics[1].message, "c");
+    }
+
+    /// The fan-out path produces the same report as sequential for any
+    /// worker count, including more workers than families.
+    #[test]
+    fn worker_count_does_not_change_report() {
+        fn build() -> CheckEngine {
+            let mut e = CheckEngine::new();
+            e.push(Box::new(Fixed(Severity::Info)));
+            e.push(Box::new(Fixed(Severity::Error)));
+            e.push(Box::new(Fixed(Severity::Warning)));
+            e
+        }
+        let base = build().run(&Artifacts::empty());
+        for w in [2, 3, 8] {
+            let r = build().with_workers(w).run(&Artifacts::empty());
+            assert_eq!(base, r, "report changed at {} workers", w);
+        }
     }
 }

@@ -20,8 +20,17 @@
 //!   recovering decoder had to do to the input.
 //! * **Trace** ([`trace_rules`]) — `P2P-MATCH-001..005` (unmatched and
 //!   mismatched point-to-point pairs), `WILD-RECV-001` (wildcard-source
-//!   receives: a nondeterminism hazard), `WFG-CYCLE-001` (the traced
-//!   order deadlocks under deterministic replay).
+//!   receives posted: where to look when a race is reported),
+//!   `WFG-CYCLE-001` (the traced order deadlocks under deterministic
+//!   replay).
+//! * **Happens-before** ([`race_rules`], on the vector clocks of
+//!   [`hb`]) — `MSG-RACE-001` (a wildcard receive's race changes the
+//!   recorded event structure), `MSG-RACE-002` (a wildcard can steal a
+//!   deterministic receive's message), `WILD-RECV-002` (symmetric race:
+//!   order-dependent match, stable structure), `DLK-POT-001` (an
+//!   alternative wildcard matching wedges — a deadlock the committed
+//!   replay cannot see), `SIG-STAB-001` (phase occurrences overlap a
+//!   race window; the signature is order-sensitive).
 //! * **Model** ([`model_rules`]) — `LT-RECV-001` (a receive placed
 //!   before its send), `MODEL-TICK-001` (two events of one process in a
 //!   tick), `LT-COLL-001` (a collective split across ticks),
@@ -52,14 +61,20 @@
 
 pub mod diag;
 pub mod engine;
+pub mod hb;
 pub mod ingest_rules;
 pub mod model_rules;
+pub mod race_rules;
+pub mod sarif;
 pub mod signature_rules;
 pub mod trace_rules;
 
 pub use diag::{Diagnostic, Location, Severity};
 pub use engine::{hit_metric, Artifacts, CheckEngine, CheckReport, Checker};
+pub use hb::{HbAnalysis, VectorClock};
 pub use ingest_rules::IngestRules;
 pub use model_rules::ModelRules;
+pub use race_rules::HbRules;
+pub use sarif::{apply_baseline, to_sarif, Baseline, BASELINE_VERSION, SARIF_VERSION};
 pub use signature_rules::{SignatureRuleConfig, SignatureRules};
 pub use trace_rules::TraceRules;

@@ -1,0 +1,414 @@
+//! SARIF 2.1.0 export and baseline suppression.
+//!
+//! [`to_sarif`] renders a [`CheckReport`] as a SARIF 2.1.0 log so the
+//! checker plugs into anything that speaks the format (GitHub code
+//! scanning, IDE problem matchers, result diffing tools). The output is
+//! **byte-stable**: the JSON is emitted by hand in a fixed field order
+//! (the same discipline as the Chrome Trace exporter in `pas2p-obs`),
+//! rules come from a closed sorted table, results keep the report's
+//! canonical order, and nothing nondeterministic (timestamps, absolute
+//! paths, machine names) appears. The same report always renders the
+//! same bytes — CI snapshots it.
+//!
+//! [`Baseline`] is the suppression side: a sorted list of
+//! [`Diagnostic::fingerprint`]s. [`apply_baseline`] drops findings whose
+//! fingerprint is listed, so the checker can be adopted on a codebase
+//! with pre-existing findings and fail CI only on *new* ones.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::engine::CheckReport;
+
+/// The SARIF schema version this module emits.
+pub const SARIF_VERSION: &str = "2.1.0";
+const SARIF_SCHEMA: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+/// Every rule the engine can emit, with the short description SARIF
+/// viewers surface. Closed table, sorted by id; `to_sarif` indexes into
+/// it. Unknown codes (user-supplied rule families) get a synthesized
+/// entry after the table.
+pub const RULE_TABLE: &[(&str, &str)] = &[
+    (
+        "DLK-POT-001",
+        "An alternative wildcard matching wedges: potential deadlock",
+    ),
+    (
+        "INGEST-DUP-001",
+        "Recovering decoder renumbered duplicate records",
+    ),
+    ("INGEST-FATAL-001", "Trace buffer unusable"),
+    ("INGEST-RANK-001", "A rank never appeared in the trace"),
+    ("INGEST-REC-001", "Records quarantined during ingest"),
+    ("INGEST-TRUNC-001", "A trace section was truncated"),
+    ("LT-COLL-001", "A collective is split across logical ticks"),
+    ("LT-RECV-001", "A receive is placed before its send"),
+    ("MODEL-CONS-001", "Events lost or invented by the relayout"),
+    ("MODEL-ORDER-001", "Program order broken on the tick axis"),
+    (
+        "MODEL-SPAN-001",
+        "Phase occurrence with negative global span",
+    ),
+    ("MODEL-TICK-001", "Two events of one process share a tick"),
+    (
+        "MSG-RACE-001",
+        "Wildcard receive race changes the recorded event structure",
+    ),
+    (
+        "MSG-RACE-002",
+        "Wildcard receive can steal a deterministic receive's message",
+    ),
+    ("P2P-MATCH-001", "Send without a matching receive"),
+    ("P2P-MATCH-002", "Receive without a matching send"),
+    ("P2P-MATCH-003", "Matched pair disagrees on peers"),
+    ("P2P-MATCH-004", "Matched pair disagrees on size"),
+    ("P2P-MATCH-005", "Relation id reused"),
+    ("PET-EQ-001", "PET reconstruction identity fails"),
+    ("PET-EQ-002", "PET reconstruction differs beyond tolerance"),
+    ("SIG-COV-001", "Low relevant coverage"),
+    ("SIG-OCC-001", "Occurrences do not tile the trace"),
+    ("SIG-REL-001", "Table rows disagree with the analysis"),
+    ("SIG-ROW-001", "Signature row bookkeeping broken"),
+    ("SIG-SIM-001", "Similarity bookkeeping broken (merge)"),
+    ("SIG-SIM-002", "Similarity bookkeeping broken (split)"),
+    (
+        "SIG-STAB-001",
+        "Phase occurrences overlap a message-race window",
+    ),
+    ("SIG-W-001", "Phase weight disagrees with occurrence count"),
+    (
+        "WFG-CYCLE-001",
+        "The traced order deadlocks under deterministic replay",
+    ),
+    ("WILD-RECV-001", "Wildcard-source receives posted"),
+    (
+        "WILD-RECV-002",
+        "Symmetric wildcard race: order-dependent match, stable structure",
+    ),
+];
+
+/// JSON string escape (the SARIF output is hand-emitted; see module
+/// docs for why).
+fn esc(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn level_of(s: Severity) -> &'static str {
+    match s {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Info => "note",
+    }
+}
+
+/// Render a report as a SARIF 2.1.0 log (two-space-indented JSON with a
+/// trailing newline). Byte-stable: the same report always produces the
+/// same bytes.
+pub fn to_sarif(report: &CheckReport) -> String {
+    // Rule list: the closed table, then any codes the report carries
+    // that the table does not (user rule families), in first-appearance
+    // order — result ruleIndex entries index the emitted list.
+    let mut rules: Vec<(String, String)> = RULE_TABLE
+        .iter()
+        .map(|(id, d)| ((*id).to_string(), (*d).to_string()))
+        .collect();
+    for d in &report.diagnostics {
+        if !rules.iter().any(|(id, _)| *id == d.code) {
+            rules.push((d.code.clone(), "(rule outside the shipped set)".to_string()));
+        }
+    }
+    let index_of = |code: &str| {
+        rules
+            .iter()
+            .position(|(id, _)| id == code)
+            .expect("every code was indexed")
+    };
+
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"$schema\": ");
+    esc(SARIF_SCHEMA, &mut s);
+    s.push_str(",\n  \"version\": ");
+    esc(SARIF_VERSION, &mut s);
+    s.push_str(",\n  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"pas2p-check\",\n");
+    s.push_str("          \"informationUri\": \"https://example.org/pas2p-rs\",\n");
+    s.push_str("          \"rules\": [\n");
+    for (i, (id, desc)) in rules.iter().enumerate() {
+        s.push_str("            { \"id\": ");
+        esc(id, &mut s);
+        s.push_str(", \"shortDescription\": { \"text\": ");
+        esc(desc, &mut s);
+        s.push_str(" } }");
+        if i + 1 < rules.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [\n");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        let mut message = d.message.clone();
+        if let Some(hint) = &d.suggestion {
+            message.push_str(" (hint: ");
+            message.push_str(hint);
+            message.push(')');
+        }
+        s.push_str("        {\n          \"ruleId\": ");
+        esc(&d.code, &mut s);
+        s.push_str(&format!(
+            ",\n          \"ruleIndex\": {}",
+            index_of(&d.code)
+        ));
+        s.push_str(",\n          \"level\": ");
+        esc(level_of(d.severity), &mut s);
+        s.push_str(",\n          \"message\": { \"text\": ");
+        esc(&message, &mut s);
+        s.push_str(" },\n          \"locations\": [\n");
+        s.push_str("            { \"logicalLocations\": [ { \"fullyQualifiedName\": ");
+        esc(&d.location.to_string(), &mut s);
+        s.push_str(", \"kind\": \"element\" } ] }\n          ],\n");
+        s.push_str("          \"fingerprints\": { \"pas2p/v1\": ");
+        esc(&d.fingerprint(), &mut s);
+        s.push_str(" }\n        }");
+        if i + 1 < report.diagnostics.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("      ]\n    }\n  ]\n}\n");
+    s
+}
+
+/// A suppression baseline: the fingerprints of findings to ignore.
+///
+/// Stored sorted and deduplicated so the file diffs cleanly under
+/// version control.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Format version of the baseline file.
+    pub version: u32,
+    /// Suppressed finding fingerprints ([`Diagnostic::fingerprint`]).
+    pub suppressed: Vec<String>,
+}
+
+/// Current baseline file format version.
+pub const BASELINE_VERSION: u32 = 1;
+
+impl Baseline {
+    /// Capture every finding of `report` as suppressed.
+    pub fn from_report(report: &CheckReport) -> Baseline {
+        let mut suppressed: Vec<String> = report
+            .diagnostics
+            .iter()
+            .map(Diagnostic::fingerprint)
+            .collect();
+        suppressed.sort();
+        suppressed.dedup();
+        Baseline {
+            version: BASELINE_VERSION,
+            suppressed,
+        }
+    }
+
+    /// Serialize to the on-disk JSON form (sorted, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"version\": ");
+        s.push_str(&self.version.to_string());
+        s.push_str(",\n  \"suppressed\": [\n");
+        for (i, f) in self.suppressed.iter().enumerate() {
+            s.push_str("    ");
+            esc(f, &mut s);
+            if i + 1 < self.suppressed.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parse the on-disk JSON form.
+    pub fn from_json(s: &str) -> Result<Baseline, String> {
+        let v: serde_json::Value =
+            serde_json::from_str(s).map_err(|e| format!("baseline parse error: {}", e))?;
+        let version =
+            v.get("version")
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| "baseline missing \"version\"".to_string())? as u32;
+        if version != BASELINE_VERSION {
+            return Err(format!(
+                "baseline version {} unsupported (expected {})",
+                version, BASELINE_VERSION
+            ));
+        }
+        let mut suppressed: Vec<String> = v
+            .get("suppressed")
+            .and_then(|x| x.as_array())
+            .ok_or_else(|| "baseline missing \"suppressed\" list".to_string())?
+            .iter()
+            .map(|x| {
+                x.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "non-string fingerprint in baseline".to_string())
+            })
+            .collect::<Result<_, _>>()?;
+        suppressed.sort();
+        suppressed.dedup();
+        Ok(Baseline {
+            version,
+            suppressed,
+        })
+    }
+
+    /// True when the finding is suppressed.
+    pub fn contains(&self, d: &Diagnostic) -> bool {
+        self.suppressed.binary_search(&d.fingerprint()).is_ok()
+    }
+}
+
+/// Drop baselined findings from a report. Returns the filtered report
+/// and how many findings the baseline absorbed.
+pub fn apply_baseline(report: CheckReport, baseline: &Baseline) -> (CheckReport, usize) {
+    let before = report.diagnostics.len();
+    let diagnostics: Vec<Diagnostic> = report
+        .diagnostics
+        .into_iter()
+        .filter(|d| !baseline.contains(d))
+        .collect();
+    let absorbed = before - diagnostics.len();
+    (CheckReport { diagnostics }, absorbed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Location, Severity};
+
+    fn report() -> CheckReport {
+        CheckReport {
+            diagnostics: vec![
+                Diagnostic::new(
+                    "MSG-RACE-001",
+                    Severity::Warning,
+                    Location::event(0, 3),
+                    "racy receive",
+                )
+                .with_suggestion("name the source"),
+                Diagnostic::new(
+                    "WILD-RECV-001",
+                    Severity::Info,
+                    Location::rank(0),
+                    "wildcards",
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn sarif_is_byte_stable_and_well_formed() {
+        let a = to_sarif(&report());
+        let b = to_sarif(&report());
+        assert_eq!(a, b);
+        let v: serde_json::Value = serde_json::from_str(&a).unwrap();
+        assert_eq!(v["version"].as_str(), Some("2.1.0"));
+        let run = &v["runs"].as_array().unwrap()[0];
+        let results = run["results"].as_array().unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0]["ruleId"].as_str(), Some("MSG-RACE-001"));
+        assert_eq!(results[0]["level"].as_str(), Some("warning"));
+        assert_eq!(results[1]["level"].as_str(), Some("note"));
+        // ruleIndex points into the emitted rule list.
+        let idx = results[0]["ruleIndex"].as_u64().unwrap() as usize;
+        let rules = run["tool"]["driver"]["rules"].as_array().unwrap();
+        assert_eq!(rules[idx]["id"].as_str(), Some("MSG-RACE-001"));
+        assert!(a.contains("hint: name the source"));
+    }
+
+    #[test]
+    fn unknown_codes_get_a_synthesized_rule() {
+        let r = CheckReport {
+            diagnostics: vec![Diagnostic::new(
+                "CUSTOM-999",
+                Severity::Error,
+                Location::none(),
+                "user rule",
+            )],
+        };
+        let s = to_sarif(&r);
+        let v: serde_json::Value = serde_json::from_str(&s).unwrap();
+        let run = &v["runs"].as_array().unwrap()[0];
+        let idx = run["results"].as_array().unwrap()[0]["ruleIndex"]
+            .as_u64()
+            .unwrap() as usize;
+        assert_eq!(
+            run["tool"]["driver"]["rules"].as_array().unwrap()[idx]["id"].as_str(),
+            Some("CUSTOM-999")
+        );
+    }
+
+    #[test]
+    fn rule_table_is_sorted_and_covers_hit_metrics() {
+        for pair in RULE_TABLE.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "{} out of order", pair[1].0);
+        }
+        // Every tabled rule has a dedicated hit metric (no silent
+        // `other` bucket for shipped codes).
+        for (id, _) in RULE_TABLE {
+            assert_ne!(
+                crate::engine::hit_metric(id),
+                "check.hit.other",
+                "{} missing from hit_metric",
+                id
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrip_suppresses() {
+        let r = report();
+        let b = Baseline::from_report(&r);
+        let b2 = Baseline::from_json(&b.to_json()).unwrap();
+        assert_eq!(b, b2);
+        let (filtered, absorbed) = apply_baseline(r, &b2);
+        assert_eq!(absorbed, 2);
+        assert!(filtered.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn baseline_rejects_future_versions() {
+        assert!(Baseline::from_json("{\"version\": 99, \"suppressed\": []}").is_err());
+    }
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        let r = CheckReport {
+            diagnostics: vec![Diagnostic::new(
+                "X-001",
+                Severity::Info,
+                Location::none(),
+                "a \"quoted\"\nline\twith\\slashes",
+            )],
+        };
+        let s = to_sarif(&r);
+        let v: serde_json::Value = serde_json::from_str(&s).unwrap();
+        let run = &v["runs"].as_array().unwrap()[0];
+        assert_eq!(
+            run["results"].as_array().unwrap()[0]["message"]["text"].as_str(),
+            Some("a \"quoted\"\nline\twith\\slashes")
+        );
+    }
+}

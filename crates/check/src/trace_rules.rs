@@ -158,10 +158,10 @@ fn check_wildcards(trace: &Trace, out: &mut Vec<Diagnostic>) {
                     ),
                 )
                 .with_suggestion(
-                    "wildcard receives make the event order run-dependent on \
-                     a real machine; the PAS2P ordering absorbs this, and the \
-                     simulator resolves the match deterministically in \
-                     virtual time (earliest departure wins)",
+                    "informational census of wildcard receives; the \
+                     happens-before rules (MSG-RACE-*, DLK-POT-*) report \
+                     the actionable subset whose match set actually admits \
+                     more than one concurrent sender",
                 ),
             );
         }

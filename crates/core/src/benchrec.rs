@@ -16,7 +16,32 @@ use serde::{Deserialize, Serialize};
 use crate::batch::BatchReport;
 
 /// Version stamp written into every record.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the optional `check` block (check-engine throughput); v1
+/// records deserialize with `check: None`.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
+/// Check-engine throughput measurements inside a [`BenchRecord`]
+/// (`pas2p-cli bench-report` runs the full rule set over one analyzed
+/// app sequentially and with a worker pool).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CheckBenchStat {
+    /// Application the engine was timed over.
+    pub app: String,
+    /// Worker threads in the parallel configuration.
+    pub workers: usize,
+    /// Diagnostics the engine produced (identical in both configurations
+    /// by construction).
+    pub diagnostics: u64,
+    /// Wall-clock seconds for the sequential run.
+    pub sequential_seconds: f64,
+    /// Wall-clock seconds for the parallel run.
+    pub parallel_seconds: f64,
+    /// Sequential diagnostics/sec (0 when the run produced none).
+    pub diagnostics_per_sec: f64,
+    /// `sequential_seconds / parallel_seconds` (0 when not measurable).
+    pub speedup: f64,
+}
 
 /// Per-application measurements inside a [`BenchRecord`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -68,6 +93,10 @@ pub struct BenchRecord {
     pub events_per_sec: f64,
     /// Per-application breakdown, in submission order.
     pub apps: Vec<BenchAppStat>,
+    /// Check-engine throughput, when the run measured it (absent in
+    /// schema-v1 records and when `bench-report` skips the check pass).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub check: Option<CheckBenchStat>,
 }
 
 fn rate(num: f64, den: f64) -> f64 {
@@ -132,6 +161,7 @@ pub fn bench_record(
         total_tfat_seconds: total_tfat,
         events_per_sec: rate(total_events as f64, total_tfat),
         apps,
+        check: None,
     }
 }
 

@@ -44,7 +44,9 @@ pub mod workload;
 pub use batch::{
     run_batch, run_batch_with, BatchJob, BatchOptions, BatchReport, BatchResult, BatchStatus,
 };
-pub use benchrec::{append_record, bench_record, BenchAppStat, BenchRecord, BENCH_SCHEMA_VERSION};
+pub use benchrec::{
+    append_record, bench_record, BenchAppStat, BenchRecord, CheckBenchStat, BENCH_SCHEMA_VERSION,
+};
 pub use pipeline::{Analysis, AnalysisError, Pas2p};
 pub use timeline::{compose_timeline, validate_chrome_json, TimelineStats};
 

@@ -126,6 +126,19 @@ impl Pas2p {
         base: &MachineModel,
         policy: MappingPolicy,
     ) -> Analysis {
+        self.analyze_checked_with(app, base, policy, &CheckEngine::with_default_rules())
+    }
+
+    /// [`Pas2p::analyze_checked`] with a caller-supplied engine — the
+    /// CLI passes one configured with `--workers`; tests pass engines at
+    /// several worker counts to pin report invariance.
+    pub fn analyze_checked_with(
+        &self,
+        app: &dyn MpiApp,
+        base: &MachineModel,
+        policy: MappingPolicy,
+        engine: &CheckEngine,
+    ) -> Analysis {
         let (mut analysis, trace, logical) = self.analyze_full(app, base, policy);
         let mut st = pas2p_obs::stage("check");
         let artifacts = Artifacts {
@@ -136,9 +149,15 @@ impl Pas2p {
             similarity: self.similarity,
             ingest: None,
         };
-        let report = CheckEngine::with_default_rules().run(&artifacts);
+        let report = engine.run(&artifacts);
         st.items(report.diagnostics.len() as u64);
         st.finish();
+        // An order-sensitive signature is a weaker claim than a full one:
+        // the phases exist, but their timings depend on which race
+        // outcome the traced run happened to commit.
+        if analysis.confidence == Confidence::Full && report.has_code("SIG-STAB-001") {
+            analysis.confidence = Confidence::OrderSensitive;
+        }
         if !report.is_clean() {
             pas2p_obs::log(
                 Level::Warn,
@@ -266,7 +285,12 @@ impl Pas2p {
             None
         };
 
-        let confidence = report.confidence();
+        let mut confidence = report.confidence();
+        if confidence == Confidence::Full
+            && check.as_ref().is_some_and(|r| r.has_code("SIG-STAB-001"))
+        {
+            confidence = Confidence::OrderSensitive;
+        }
         if confidence == Confidence::Degraded {
             pas2p_obs::log(
                 Level::Warn,

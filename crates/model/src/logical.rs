@@ -76,6 +76,20 @@ impl LogicalTrace {
         self.ticks.iter().map(|t| t.events.len()).sum()
     }
 
+    /// Map every event to its tick: `(process, number) → tick index`.
+    /// This is the bridge race analysis needs between trace-space
+    /// findings (rank, event number) and tick-space artifacts (phase
+    /// occurrences span tick ranges).
+    pub fn tick_positions(&self) -> std::collections::HashMap<(u32, u64), usize> {
+        let mut map = std::collections::HashMap::with_capacity(self.total_events());
+        for (t, tick) in self.ticks.iter().enumerate() {
+            for e in &tick.events {
+                map.insert((e.process, e.number), t);
+            }
+        }
+        map
+    }
+
     /// Verify the defining invariants of a logical trace:
     /// * at most one event per (process, tick);
     /// * per process, ticks preserve program order (event numbers strictly
@@ -180,6 +194,16 @@ mod tests {
         assert!(tick.event_of(1).is_some());
         assert!(tick.event_of(3).is_some());
         assert!(tick.event_of(0).is_none());
+    }
+
+    #[test]
+    fn tick_positions_invert_the_layout() {
+        let keyed = vec![(0, 0, ev(0, 0)), (1, 0, ev(0, 1)), (1, 0, ev(1, 0))];
+        let lt = assemble(2, keyed);
+        let pos = lt.tick_positions();
+        assert_eq!(pos[&(0, 0)], 0);
+        assert_eq!(pos[&(0, 1)], 1);
+        assert_eq!(pos[&(1, 0)], 1);
     }
 
     #[test]

@@ -23,13 +23,19 @@ use crate::event::{EventKind, ProcessTrace, Trace};
 use crate::format::{self, Cursor, EVENT_RECORD_BYTES};
 use serde::{Deserialize, Serialize};
 
-/// How much of the pipeline's input survived ingest — the flag carried
-/// by analyses, signatures and predictions built from recovered traces.
+/// How much the pipeline's output can be trusted — the flag carried by
+/// analyses, signatures and predictions.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Confidence {
-    /// Every record of every rank decoded cleanly.
+    /// Every record of every rank decoded cleanly and no ordering hazard
+    /// was detected.
     #[default]
     Full,
+    /// The data is complete, but the happens-before analysis found
+    /// message races overlapping phase occurrences (`SIG-STAB-001`): the
+    /// recorded logical order is one of several the program admits, so
+    /// signature and prediction results are order-sensitive.
+    OrderSensitive,
     /// Records or whole ranks were quarantined; results describe the
     /// surviving subset of the run.
     Degraded,
@@ -39,6 +45,7 @@ impl std::fmt::Display for Confidence {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Confidence::Full => write!(f, "full"),
+            Confidence::OrderSensitive => write!(f, "order-sensitive"),
             Confidence::Degraded => write!(f, "degraded"),
         }
     }

@@ -28,6 +28,7 @@ pub mod compress;
 pub mod event;
 pub mod format;
 pub mod ingest;
+pub mod matchset;
 pub mod recorder;
 
 pub use event::{CollClass, EventKind, ProcessTrace, Trace, TraceEvent};
@@ -36,6 +37,7 @@ pub use compress::{compress, decompress};
 pub use ingest::{
     decode_recovering, repair_collectives, Confidence, IngestReport, RankHealth, RankIngest,
 };
+pub use matchset::{match_sets, CandidateSend, ChannelStat, CommittedRecv, MatchSets, WildcardMatch};
 pub use recorder::{InstrumentationModel, TraceBuildError, TraceCollector, Traced};
 
 #[cfg(test)]

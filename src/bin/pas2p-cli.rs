@@ -36,6 +36,8 @@ const USAGE: &str = "usage:
   pas2p-cli check     --app NAME --nprocs N --base M [--json] [--logical-out FILE]
   pas2p-cli check     --logical FILE [--json]
   pas2p-cli check     --trace FILE [--json]
+                      (any form also takes [--workers K] [--sarif FILE]
+                       [--baseline FILE] [--write-baseline FILE])
   pas2p-cli metrics   --analysis FILE [--format text|prom]
   pas2p-cli batch     --apps NAME[,NAME...] --nprocs N --base M [--workers K] [--out FILE]
                       [--fault-seed N | --faults FILE] [--deadline-ms N] [--retries N] [--strict]
@@ -64,15 +66,21 @@ timeline: export a Chrome Trace / Perfetto JSON timeline (open at
   schema; --normalize emits the worker-count-invariant normalized form
 bench-report: run the full application suite through the batch driver and
   derive a schema-versioned performance record (TFAT, events/sec,
-  jobs/sec); --record FILE appends it to a BENCH_*.json trajectory file,
-  otherwise the record prints to stdout (--nprocs defaults to 8,
-  --base to A)
+  jobs/sec, check-engine diagnostics/sec sequential vs parallel);
+  --record FILE appends it to a BENCH_*.json trajectory file, otherwise
+  the record prints to stdout (--nprocs defaults to 8, --base to A)
 check: runs the pas2p-check invariant rules over every pipeline artifact;
   exits 0 when clean, 1 on warnings, 2 on errors (--json for machine output);
   --logical-out dumps the logical trace JSON so it can be re-checked with
   --logical FILE (model rules only); --trace FILE decodes a binary trace
   with the recovering ingest path and checks the salvaged trace (INGEST-*
   rules report what was lost)
+  --workers K         fan the rule families over K threads (the report is
+                      byte-identical at any K)
+  --sarif FILE        also write the report as a byte-stable SARIF 2.1.0 log
+  --baseline FILE     suppress findings listed in FILE (exit code reflects
+                      the remaining findings only)
+  --write-baseline F  capture every current finding into F and exit 0
 observability (any command):
   --log-level LEVEL   off|error|warn|info|debug|trace (default warn; env PAS2P_LOG)
   --log-file FILE     append JSON-lines log records to FILE (env PAS2P_LOG_FILE)
@@ -312,6 +320,17 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
             Ok(ExitCode::SUCCESS)
         }
         "check" => {
+            let engine = {
+                let workers = match flags.get("workers") {
+                    Some(w) => w
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&w| w > 0)
+                        .ok_or_else(|| format!("bad --workers '{w}'"))?,
+                    None => 1,
+                };
+                CheckEngine::with_default_rules().with_workers(workers)
+            };
             let report = if let Some(path) = flags.get("trace") {
                 // Recovery mode: decode a binary trace with the
                 // resync-capable ingest path and check whatever
@@ -330,7 +349,7 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
                     ingest: Some(&ingest),
                     ..Artifacts::empty()
                 };
-                CheckEngine::with_default_rules().run(&artifacts)
+                engine.run(&artifacts)
             } else if let Some(path) = flags.get("logical") {
                 // Artifact mode: check a previously exported logical
                 // trace (model rules only — there is no physical trace
@@ -351,7 +370,7 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
                     logical: Some(&logical),
                     ..Artifacts::empty()
                 };
-                CheckEngine::with_default_rules().run(&artifacts)
+                engine.run(&artifacts)
             } else {
                 let app = app(&flags)?;
                 let base = machine(&flags, "base")?;
@@ -361,17 +380,52 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
                     std::fs::write(out, json).map_err(|e| format!("writing {}: {}", out, e))?;
                     eprintln!("wrote logical trace to {}", out);
                 }
-                let analysis = pas2p.analyze_checked(app.as_ref(), &base, MappingPolicy::Block);
+                let analysis =
+                    pas2p.analyze_checked_with(app.as_ref(), &base, MappingPolicy::Block, &engine);
                 if !flags.contains_key("json") {
                     eprintln!(
-                        "{}: checked {} events, {} phases",
+                        "{}: checked {} events, {} phases (confidence: {})",
                         analysis.app_name,
                         analysis.trace_events,
-                        analysis.total_phases()
+                        analysis.total_phases(),
+                        analysis.confidence
                     );
                 }
                 analysis.check.expect("analyze_checked attaches a report")
             };
+            // Baseline handling: --write-baseline captures the current
+            // findings and exits clean; --baseline filters them out of
+            // the report (and the exit code) before rendering.
+            if let Some(path) = flags.get("write-baseline") {
+                let baseline = pas2p_check::Baseline::from_report(&report);
+                std::fs::write(path, baseline.to_json())
+                    .map_err(|e| format!("writing {}: {}", path, e))?;
+                eprintln!(
+                    "wrote baseline ({} finding(s)) to {}",
+                    baseline.suppressed.len(),
+                    path
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            let report = match flags.get("baseline") {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| input(format!("reading {}: {}", path, e)))?;
+                    let baseline = pas2p_check::Baseline::from_json(&text)
+                        .map_err(|e| input(format!("{}: {}", path, e)))?;
+                    let (filtered, absorbed) = pas2p_check::apply_baseline(report, &baseline);
+                    if absorbed > 0 {
+                        eprintln!("baseline absorbed {} finding(s)", absorbed);
+                    }
+                    filtered
+                }
+                None => report,
+            };
+            if let Some(path) = flags.get("sarif") {
+                std::fs::write(path, pas2p_check::to_sarif(&report))
+                    .map_err(|e| format!("writing {}: {}", path, e))?;
+                eprintln!("wrote SARIF report to {}", path);
+            }
             if flags.contains_key("json") {
                 let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
                 println!("{}", json);
@@ -610,7 +664,7 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
                 ..pas2p::BatchOptions::default()
             };
             let report = pas2p::run_batch_with(&pas2p, jobs, opts);
-            let record = pas2p::bench_record(&report, &label, nprocs, &base.name);
+            let mut record = pas2p::bench_record(&report, &label, nprocs, &base.name);
             eprintln!(
                 "bench-report: {}/{} jobs ok in {:.2}s ({} workers) — \
                  {:.0} events/s analysis, {:.2} jobs/s",
@@ -621,6 +675,66 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
                 record.events_per_sec,
                 record.jobs_per_sec
             );
+            // Check-engine throughput: run the full rule set over one
+            // analyzed suite member, sequentially and with a worker
+            // pool, so the trajectory tracks diagnostics/sec alongside
+            // the analysis numbers.
+            {
+                const CHECK_APP: &str = "masterworker";
+                let app = pas2p_apps::by_name(CHECK_APP, nprocs).expect("catalog app");
+                let (analysis, trace, logical) =
+                    pas2p.analyze_full(app.as_ref(), &base, MappingPolicy::Block);
+                let artifacts = Artifacts {
+                    trace: Some(&trace),
+                    logical: Some(&logical),
+                    analysis: Some(&analysis.analysis),
+                    table: Some(&analysis.table),
+                    similarity: pas2p.similarity,
+                    ingest: None,
+                };
+                let check_workers = record.batch_workers.max(2);
+                let sequential = CheckEngine::with_default_rules();
+                let parallel = CheckEngine::with_default_rules().with_workers(check_workers);
+                let t = std::time::Instant::now();
+                let seq_report = sequential.run(&artifacts);
+                let sequential_seconds = t.elapsed().as_secs_f64();
+                let t = std::time::Instant::now();
+                let par_report = parallel.run(&artifacts);
+                let parallel_seconds = t.elapsed().as_secs_f64();
+                debug_assert_eq!(
+                    seq_report.diagnostics, par_report.diagnostics,
+                    "check engine must be worker-count invariant"
+                );
+                let diagnostics = seq_report.diagnostics.len() as u64;
+                let stat = pas2p::CheckBenchStat {
+                    app: CHECK_APP.to_string(),
+                    workers: check_workers,
+                    diagnostics,
+                    sequential_seconds,
+                    parallel_seconds,
+                    diagnostics_per_sec: if sequential_seconds > 0.0 {
+                        diagnostics as f64 / sequential_seconds
+                    } else {
+                        0.0
+                    },
+                    speedup: if parallel_seconds > 0.0 {
+                        sequential_seconds / parallel_seconds
+                    } else {
+                        0.0
+                    },
+                };
+                eprintln!(
+                    "check-engine: {} diagnostics over {} in {:.4}s sequential, \
+                     {:.4}s at {} workers (speedup {:.2}x)",
+                    stat.diagnostics,
+                    stat.app,
+                    stat.sequential_seconds,
+                    stat.parallel_seconds,
+                    stat.workers,
+                    stat.speedup
+                );
+                record.check = Some(stat);
+            }
             match flags.get("record") {
                 Some(path) => {
                     let len = pas2p::append_record(std::path::Path::new(path), &record)

@@ -232,6 +232,115 @@ fn check_reports_clean_apps_and_json_mode() {
     assert!(report.is_clean());
 }
 
+/// `check --sarif` reproduces the golden SARIF snapshot byte for byte
+/// (the simulator, the deterministic wildcard commit, and the SARIF
+/// writer are all stable), and the export is the same at any worker
+/// count.
+#[test]
+fn check_sarif_matches_golden_snapshot() {
+    let dir = std::env::temp_dir().join("pas2p-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let sarif_path = dir.join("mw.sarif");
+    let sarif_str = sarif_path.to_str().unwrap();
+
+    for workers in ["1", "4"] {
+        let out = cli()
+            .args([
+                "check",
+                "--app",
+                "masterworker",
+                "--nprocs",
+                "8",
+                "--base",
+                "A",
+                "--workers",
+                workers,
+                "--sarif",
+                sarif_str,
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let got = std::fs::read_to_string(&sarif_path).unwrap();
+        let golden = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/masterworker_check.sarif"),
+        )
+        .unwrap();
+        assert_eq!(
+            got, golden,
+            "SARIF output diverged from the golden snapshot at {workers} worker(s); \
+             regenerate tests/golden/masterworker_check.sarif if the change is intended"
+        );
+    }
+}
+
+/// `--write-baseline` captures the current findings; a subsequent run
+/// with `--baseline` absorbs them and exits clean.
+#[test]
+fn check_baseline_roundtrip_suppresses_known_findings() {
+    let dir = std::env::temp_dir().join("pas2p-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline_path = dir.join("mw.baseline.json");
+    let baseline_str = baseline_path.to_str().unwrap();
+    let app = [
+        "check",
+        "--app",
+        "masterworker",
+        "--nprocs",
+        "8",
+        "--base",
+        "A",
+    ];
+
+    let out = cli()
+        .args(app)
+        .args(["--write-baseline", baseline_str])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let baseline: pas2p_check::Baseline =
+        pas2p_check::Baseline::from_json(&std::fs::read_to_string(&baseline_path).unwrap())
+            .unwrap();
+    assert!(
+        !baseline.suppressed.is_empty(),
+        "masterworker has wildcard infos to capture"
+    );
+
+    let out = cli()
+        .args(app)
+        .args(["--baseline", baseline_str])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("baseline absorbed"),
+        "expected absorption note, got:\n{stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("0 finding(s) total"),
+        "all findings were baselined, got:\n{stdout}"
+    );
+
+    // A garbage baseline is an input error: exit 2, one diagnostic line.
+    std::fs::write(&baseline_path, "not json").unwrap();
+    let out = cli().args(app).args(["--baseline", baseline_str]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
 /// Bad input files (as opposed to bad flags) exit 2 with exactly one
 /// diagnostic line and no usage dump.
 #[test]
@@ -490,6 +599,11 @@ fn bench_report_prints_and_appends_records() {
     assert!(record.events_per_sec > 0.0);
     assert!(record.jobs_per_sec > 0.0);
     assert_eq!(record.label, "t1");
+    let check = record.check.expect("bench-report times the check engine");
+    assert_eq!(check.app, "masterworker");
+    assert!(check.workers >= 2);
+    assert!(check.sequential_seconds > 0.0);
+    assert!(check.parallel_seconds > 0.0);
 
     // With --record the file accumulates a trajectory.
     for _ in 0..2 {

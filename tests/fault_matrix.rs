@@ -3,7 +3,9 @@
 //! catalog applications must run to completion with zero panics, classify
 //! every job as `Degraded`/`Failed`/`TimedOut` with an `IngestReport`
 //! attached, and produce a byte-identical batch digest for 1, 4 and 8
-//! workers.
+//! workers. Every trace the recovering decoder salvages must also
+//! survive the full check engine — happens-before rules included — with
+//! a worker-count-invariant report.
 
 use pas2p::prelude::*;
 use pas2p::{run_batch_with, BatchJob, BatchOptions, BatchStatus, Pas2p};
@@ -77,4 +79,51 @@ fn fault_matrix_completes_classified_and_deterministic() {
             "the batch digest must be byte-identical at {workers} workers"
         );
     }
+}
+
+/// Every faulted trace the recovering decoder can salvage goes through
+/// the full check engine: no panics, and the report — including the
+/// happens-before rules over a damaged trace — is identical whether the
+/// rule families run sequentially or on a worker pool.
+#[test]
+fn recovered_faulted_traces_survive_the_full_check_engine() {
+    let base = cluster_a();
+    let pas2p = Pas2p::default();
+    let mut salvaged = 0usize;
+    for name in APPS {
+        let app = pas2p_apps::by_name(name, 8).expect("catalog app");
+        let (clean, _) = run_traced(
+            app.as_ref(),
+            &base,
+            MappingPolicy::Block,
+            pas2p.instrumentation,
+        );
+        for (label, plan) in fault_matrix(SEED) {
+            let (bytes, _log) = plan.inject(&clean);
+            let (trace, ingest) = decode_recovering(&bytes);
+            let Some(trace) = trace else {
+                continue; // nothing salvaged: nothing for the engine to chew
+            };
+            salvaged += 1;
+            let artifacts = Artifacts {
+                trace: Some(&trace),
+                ingest: Some(&ingest),
+                ..Artifacts::empty()
+            };
+            let sequential = CheckEngine::with_default_rules().run(&artifacts);
+            let parallel = CheckEngine::with_default_rules()
+                .with_workers(8)
+                .run(&artifacts);
+            assert_eq!(
+                sequential.render(),
+                parallel.render(),
+                "{name}/{label}: check report must be worker-count invariant"
+            );
+            assert_eq!(sequential.diagnostics, parallel.diagnostics);
+        }
+    }
+    assert!(
+        salvaged >= APPS.len(),
+        "the matrix must salvage at least one trace per app, got {salvaged}"
+    );
 }
