@@ -45,7 +45,9 @@ pub fn predict_by_partial_execution(
     // Per-rank clocks at the skip boundary and at the observation end.
     let marks: Mutex<Vec<(f64, f64, f64)>> = Mutex::new(vec![(0.0, 0.0, 0.0); n as usize]);
     let total_steps = app.make_rank(0).steps();
-    let observed = observe_steps.min(total_steps.saturating_sub(skip_steps)).max(1);
+    let observed = observe_steps
+        .min(total_steps.saturating_sub(skip_steps))
+        .max(1);
 
     let cfg = SimConfig::new(target.clone(), n, policy);
     run_app(&cfg, |ctx| {
@@ -107,7 +109,10 @@ mod tests {
             4
         }
         fn make_rank(&self, rank: u32) -> Box<dyn RankProgram> {
-            Box::new(UniformRank { rank, steps: self.steps })
+            Box::new(UniformRank {
+                rank,
+                steps: self.steps,
+            })
         }
     }
     impl RankProgram for UniformRank {
@@ -148,7 +153,12 @@ mod tests {
             4
         }
         fn make_rank(&self, rank: u32) -> Box<dyn RankProgram> {
-            Box::new(BurstyRank { inner: UniformRank { rank, steps: self.steps } })
+            Box::new(BurstyRank {
+                inner: UniformRank {
+                    rank,
+                    steps: self.steps,
+                },
+            })
         }
     }
     impl RankProgram for BurstyRank {
@@ -180,7 +190,13 @@ mod tests {
         let aet = run_plain(&app, &m, MappingPolicy::Block).makespan;
         let p = predict_by_partial_execution(&app, &m, MappingPolicy::Block, 2, 5);
         let err = (p.pet - aet).abs() / aet;
-        assert!(err < 0.03, "pet {} vs aet {} ({:.1}%)", p.pet, aet, err * 100.0);
+        assert!(
+            err < 0.03,
+            "pet {} vs aet {} ({:.1}%)",
+            p.pet,
+            aet,
+            err * 100.0
+        );
         assert!(p.observation_time < aet);
         assert_eq!(p.total_steps, 50);
     }

@@ -132,7 +132,8 @@ pub fn predict_by_replay(
                             };
                             let members: Vec<u32> =
                                 round.arrived.iter().map(|&q| q as u32).collect();
-                            let cost = target.collective_cost(&mapping, kind, &members, round.bytes);
+                            let cost =
+                                target.collective_cost(&mapping, kind, &members, round.bytes);
                             let out = round.max_clock + cost;
                             for &q in &round.arrived {
                                 clock[q] = out;
@@ -234,7 +235,12 @@ mod tests {
         );
         let replay = predict_by_replay(&trace, &base, &base, MappingPolicy::Block);
         let err = (replay.pet - report.makespan).abs() / report.makespan;
-        assert!(err < 0.02, "replay {} vs AET {}", replay.pet, report.makespan);
+        assert!(
+            err < 0.02,
+            "replay {} vs AET {}",
+            replay.pet,
+            report.makespan
+        );
         assert!((replay.compute_scale - 1.0).abs() < 1e-12);
     }
 
@@ -253,7 +259,12 @@ mod tests {
         let aet_target = run_plain(&app, &target, MappingPolicy::Block).makespan;
         let replay = predict_by_replay(&trace, &base, &target, MappingPolicy::Block);
         let err = (replay.pet - aet_target).abs() / aet_target;
-        assert!(err < 0.25, "replay {} vs target AET {}", replay.pet, aet_target);
+        assert!(
+            err < 0.25,
+            "replay {} vs target AET {}",
+            replay.pet,
+            aet_target
+        );
     }
 
     #[test]

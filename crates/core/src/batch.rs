@@ -20,11 +20,11 @@
 //! acceptance suite is built on this.
 
 use crate::pipeline::{Analysis, Pas2p};
+use parking_lot::Mutex;
 use pas2p_faults::FaultPlan;
 use pas2p_machine::{MachineModel, MappingPolicy};
 use pas2p_signature::{run_traced, MpiApp};
 use pas2p_trace::{Confidence, IngestReport};
-use parking_lot::Mutex;
 use serde::Serialize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -254,6 +254,22 @@ pub fn batch_workers(requested: Option<usize>, jobs: usize) -> usize {
         .clamp(1, jobs.max(1))
 }
 
+/// Largest exponent used by the retry backoff: delays stop doubling at
+/// `retry_backoff × 2^16` (so pathological `max_retries` values can't
+/// shift the factor into nonsense).
+const BACKOFF_EXPONENT_CAP: u32 = 16;
+
+/// Delay before retry number `retry` (1-based): `base × 2^(retry − 1)`,
+/// with the exponent capped at [`BACKOFF_EXPONENT_CAP`] and the
+/// multiplication saturating to `Duration::MAX`. `Duration * u32`
+/// panics on overflow, and a large user-supplied `retry_backoff`
+/// reaches that panic even with the exponent cap — inside the retry
+/// loop, where a panic is indistinguishable from a failing job.
+fn retry_backoff_delay(base: Duration, retry: u32) -> Duration {
+    let factor = 1u32 << retry.saturating_sub(1).min(BACKOFF_EXPONENT_CAP);
+    base.checked_mul(factor).unwrap_or(Duration::MAX)
+}
+
 /// What one job's retry loop produced.
 struct Outcome {
     result: Result<Analysis, String>,
@@ -326,6 +342,15 @@ fn attempt_loop(pas2p: &Pas2p, job: &BatchJob, opts: &BatchOptions) -> Outcome {
                 attempts,
             };
         }
+        // An abandoned (deadline-expired) run stops here: no retry, no
+        // retry accounting — nobody is listening for the outcome.
+        if crate::cancel::cancelled() {
+            return Outcome {
+                result: Err(last_err),
+                ingest: last_ingest,
+                attempts,
+            };
+        }
         if pas2p_obs::enabled() {
             pas2p_obs::counter("batch.retries").add(1);
         }
@@ -340,9 +365,9 @@ fn attempt_loop(pas2p: &Pas2p, job: &BatchJob, opts: &BatchOptions) -> Outcome {
                 ],
             );
         }
-        // Exponential backoff: opts.retry_backoff × 2^(retry - 1).
-        let factor = 1u32 << (attempts - 1).min(16);
-        std::thread::sleep(opts.retry_backoff * factor);
+        // Exponential backoff: opts.retry_backoff × 2^(retry - 1),
+        // capped and saturating so no combination of knobs can panic.
+        std::thread::sleep(retry_backoff_delay(opts.retry_backoff, attempts));
     }
 }
 
@@ -368,16 +393,26 @@ fn run_job(pas2p: &Pas2p, job: BatchJob, opts: &BatchOptions) -> (String, BatchS
     let (tx, rx) = mpsc::channel();
     let pas2p = *pas2p;
     let opts = *opts;
+    let token = crate::cancel::CancelToken::new();
+    let runner_token = token.clone();
     // Flow arrow from the claiming worker to the detached deadline
     // runner, so the timeline shows where the job actually executed.
     let flow = pas2p_obs::flow_start("host.batch", "deadline handoff", None);
     std::thread::spawn(move || {
         pas2p_obs::flow_end("host.batch", "deadline handoff", flow);
-        let outcome = attempt_loop(&pas2p, &job, &opts);
+        let outcome =
+            crate::cancel::with_cancel(&runner_token, || attempt_loop(&pas2p, &job, &opts));
+        if runner_token.is_cancelled() {
+            // Abandoned: the report is sealed without us. Discard the
+            // partial timeline this thread buffered — the exit-time
+            // drain would otherwise publish it into a later take().
+            pas2p_obs::events::discard_local();
+            return;
+        }
         // Hand buffered events over before signalling completion: the
         // waiting worker resumes the moment the send lands, and this
         // detached thread's exit-time drain would race any take() after
-        // that. (On expiry nobody listens and the exit drain suffices.)
+        // that.
         pas2p_obs::events::flush();
         let _ = tx.send(outcome);
     });
@@ -387,6 +422,11 @@ fn run_job(pas2p: &Pas2p, job: BatchJob, opts: &BatchOptions) -> (String, BatchS
             (app_name, status, outcome)
         }
         Err(_) => {
+            // Tell the runner to stop at its next stage boundary (or
+            // retry decision) instead of running to completion and
+            // mutating counters, stage profiles and timelines after
+            // this report line is sealed.
+            token.cancel();
             if pas2p_obs::tracing_enabled() {
                 pas2p_obs::instant(
                     "host.batch",
@@ -586,12 +626,7 @@ mod tests {
     fn jobs_of(names: &[&str]) -> Vec<BatchJob> {
         names
             .iter()
-            .map(|n| {
-                BatchJob::new(
-                    pas2p_apps::by_name(n, 8).expect("catalog app"),
-                    cluster_a(),
-                )
-            })
+            .map(|n| BatchJob::new(pas2p_apps::by_name(n, 8).expect("catalog app"), cluster_a()))
             .collect()
     }
 
@@ -801,6 +836,62 @@ mod tests {
     }
 
     #[test]
+    fn retry_backoff_saturates_instead_of_panicking() {
+        // The documented schedule below the caps is unchanged.
+        let base = Duration::from_millis(50);
+        assert_eq!(retry_backoff_delay(base, 1), Duration::from_millis(50));
+        assert_eq!(retry_backoff_delay(base, 2), Duration::from_millis(100));
+        assert_eq!(retry_backoff_delay(base, 5), Duration::from_millis(800));
+        // The exponent stops doubling at 2^16 for any retry count.
+        assert_eq!(retry_backoff_delay(base, 17), base * 65536);
+        assert_eq!(retry_backoff_delay(base, 1000), base * 65536);
+        // Degenerate retry number 0 behaves like the first retry.
+        assert_eq!(retry_backoff_delay(base, 0), base);
+        // A large base × a capped factor used to overflow `Duration *
+        // u32` and panic inside the retry loop; now it saturates.
+        let huge = Duration::from_secs(u64::MAX / 1000);
+        assert_eq!(retry_backoff_delay(huge, 40), Duration::MAX);
+        assert_eq!(retry_backoff_delay(Duration::MAX, 2), Duration::MAX);
+    }
+
+    #[test]
+    fn cancelled_attempt_loop_stops_before_retrying() {
+        let pas2p = Pas2p::default();
+        let opts = BatchOptions {
+            max_retries: 50,
+            retry_backoff: Duration::from_millis(1),
+            ..BatchOptions::default()
+        };
+        let job = BatchJob::new(Box::new(PanickingApp), cluster_a());
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        // Under a cancelled token the loop gives up after the in-flight
+        // attempt instead of burning through all 50 retries.
+        let outcome = crate::cancel::with_cancel(&token, || attempt_loop(&pas2p, &job, &opts));
+        assert_eq!(outcome.attempts, 1);
+        assert!(outcome.result.is_err());
+    }
+
+    #[test]
+    fn cancelled_pipeline_unwinds_at_the_next_stage_boundary() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let pas2p = Pas2p::default();
+        let app = pas2p_apps::by_name("cg", 8).expect("catalog app");
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            crate::cancel::with_cancel(&token, || {
+                pas2p.analyze(app.as_ref(), &cluster_a(), MappingPolicy::Block)
+            })
+        }));
+        let payload = result.expect_err("cancelled analysis must unwind");
+        assert_eq!(
+            payload.downcast_ref::<&str>(),
+            Some(&crate::cancel::CANCELLED)
+        );
+    }
+
+    #[test]
     fn fault_job_reports_ingest_and_degrades() {
         let pas2p = Pas2p::default();
         let plan = FaultPlan::new(7).with(pas2p_faults::FaultKind::DropRank { rank: 1 });
@@ -816,7 +907,10 @@ mod tests {
             "fault job must be classified, got {:?}",
             r.status
         );
-        let ingest = r.ingest.as_ref().expect("fault jobs carry an ingest report");
+        let ingest = r
+            .ingest
+            .as_ref()
+            .expect("fault jobs carry an ingest report");
         assert!(ingest.is_degraded());
     }
 }

@@ -193,18 +193,16 @@ mod tests {
 
     fn report_with_one_failure() -> BatchReport {
         BatchReport {
-            results: vec![
-                BatchResult {
-                    index: 0,
-                    app_name: "cg".into(),
-                    status: BatchStatus::Failed,
-                    analysis: None,
-                    ingest: None,
-                    error: Some("boom".into()),
-                    attempts: 1,
-                    job_seconds: 0.25,
-                },
-            ],
+            results: vec![BatchResult {
+                index: 0,
+                app_name: "cg".into(),
+                status: BatchStatus::Failed,
+                analysis: None,
+                ingest: None,
+                error: Some("boom".into()),
+                attempts: 1,
+                job_seconds: 0.25,
+            }],
             workers: 3,
             wall_seconds: 0.5,
         }

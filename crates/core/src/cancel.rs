@@ -1,0 +1,128 @@
+//! Cooperative cancellation for abandoned pipeline runs.
+//!
+//! The batch driver abandons a job when its deadline expires
+//! ([`crate::batch::BatchStatus::TimedOut`]), but the detached thread
+//! actually running the analysis used to keep going to completion —
+//! writing obs counters, stage profiles and trace events long after the
+//! batch report was sealed, skewing `batch.job_micros` and exported
+//! timelines. A [`CancelToken`] closes that hole: the deadline watcher
+//! flips the token, and the pipeline checks it at every stage boundary
+//! via a thread-local, unwinding out of the run (the unwind is caught at
+//! the existing panic boundary in the retry loop) instead of running on.
+//!
+//! Cancellation is cooperative and stage-granular by design: a stage in
+//! flight finishes, but no *new* stage starts and no retry is attempted
+//! once the token is set. Code outside a [`with_cancel`] scope never
+//! pays more than a thread-local read that finds `None`.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// The panic payload used to unwind a cancelled run. The retry loop
+/// catches it like any other panic; the message makes the classification
+/// self-describing if it ever surfaces in an error string.
+pub const CANCELLED: &str = "pas2p: run cancelled";
+
+/// A shared cancellation flag. Clone it freely: all clones observe the
+/// same flag.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// Run `f` with `token` installed as this thread's cancellation token;
+/// the previous token (if any) is restored afterwards, even on unwind.
+pub fn with_cancel<T>(token: &CancelToken, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<CancelToken>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let previous = CURRENT.with(|c| c.borrow_mut().replace(token.clone()));
+    let _restore = Restore(previous);
+    f()
+}
+
+/// True when the current thread runs under a cancelled token.
+pub fn cancelled() -> bool {
+    CURRENT.with(|c| c.borrow().as_ref().is_some_and(|t| t.is_cancelled()))
+}
+
+/// Stage-boundary checkpoint: unwind out of a cancelled run. A no-op on
+/// threads without an installed token — i.e. everywhere except detached
+/// deadline runners.
+pub(crate) fn checkpoint() {
+    if cancelled() {
+        std::panic::panic_any(CANCELLED);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn token_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled());
+        c.cancel();
+        assert!(t.is_cancelled());
+        t.cancel(); // idempotent
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn checkpoint_is_a_noop_without_a_token() {
+        assert!(!cancelled());
+        checkpoint(); // must not panic
+    }
+
+    #[test]
+    fn checkpoint_unwinds_under_a_cancelled_token() {
+        let token = CancelToken::new();
+        token.cancel();
+        let result = catch_unwind(AssertUnwindSafe(|| with_cancel(&token, checkpoint)));
+        let payload = result.expect_err("cancelled checkpoint must unwind");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&CANCELLED));
+        // The token is uninstalled again after the unwind.
+        assert!(!cancelled());
+    }
+
+    #[test]
+    fn previous_token_is_restored() {
+        let outer = CancelToken::new();
+        let inner = CancelToken::new();
+        with_cancel(&outer, || {
+            with_cancel(&inner, || {
+                inner.cancel();
+                assert!(cancelled());
+            });
+            // Back under the (live) outer token.
+            assert!(!cancelled());
+        });
+        assert!(!cancelled());
+    }
+}

@@ -79,8 +79,7 @@ pub fn prediction_row(
     cores: u32,
 ) -> PredictionRow {
     let policy = first_cores_mapping(target, app.nprocs(), cores);
-    let report = predict::validate(app, signature, target, policy)
-        .expect("same-ISA target");
+    let report = predict::validate(app, signature, target, policy).expect("same-ISA target");
     PredictionRow {
         app: format!("{}-{}", app.name(), app.nprocs()),
         cores,
@@ -255,8 +254,7 @@ mod tests {
             assert_eq!(map.core_share(r), 2);
         }
         // Only 8 nodes (32 cores / 4 per node) are used.
-        let nodes: std::collections::HashSet<u32> =
-            (0..64).map(|r| map.loc(r).node).collect();
+        let nodes: std::collections::HashSet<u32> = (0..64).map(|r| map.loc(r).node).collect();
         assert_eq!(nodes.len(), 8);
     }
 
@@ -303,9 +301,6 @@ mod tests {
         let line = r.to_string();
         assert!(line.contains("CG-64"));
         assert!(line.contains("2793.42"));
-        assert_eq!(
-            PredictionRow::header().split_whitespace().count(),
-            7
-        );
+        assert_eq!(PredictionRow::header().split_whitespace().count(), 7);
     }
 }

@@ -36,8 +36,10 @@
 pub mod baselines;
 pub mod batch;
 pub mod benchrec;
+pub mod cancel;
 pub mod experiment;
 pub mod pipeline;
+pub mod service;
 pub mod timeline;
 pub mod workload;
 
@@ -47,27 +49,29 @@ pub use batch::{
 pub use benchrec::{
     append_record, bench_record, BenchAppStat, BenchRecord, CheckBenchStat, BENCH_SCHEMA_VERSION,
 };
+pub use cancel::{cancelled, with_cancel, CancelToken};
 pub use pipeline::{Analysis, AnalysisError, Pas2p};
+pub use service::{
+    canonicalize_prediction, AppResolver, PredictOutcome, PredictionService, Request, Response,
+    SubmitOutcome,
+};
 pub use timeline::{compose_timeline, validate_chrome_json, TimelineStats};
 
 /// Convenient re-exports of the whole PAS2P stack.
 pub mod prelude {
-    pub use pas2p_machine::{
-        cluster_a, cluster_b, cluster_c, cluster_d, preset_by_name, IsaKind, MachineModel,
-        Mapping, MappingPolicy, Work,
-    };
     pub use pas2p_check::{Artifacts, CheckEngine, CheckReport, Diagnostic, Severity};
-    pub use pas2p_model::{
-        lamport_order, pas2p_order, try_pas2p_order, LogicalTrace, ModelError,
+    pub use pas2p_faults::{fault_matrix, FaultKind, FaultPlan};
+    pub use pas2p_machine::{
+        cluster_a, cluster_b, cluster_c, cluster_d, preset_by_name, IsaKind, MachineModel, Mapping,
+        MappingPolicy, Work,
     };
+    pub use pas2p_model::{lamport_order, pas2p_order, try_pas2p_order, LogicalTrace, ModelError};
     pub use pas2p_mpisim::{run_app, Group, Mpi, RankCtx, ReduceOp, SimConfig};
     pub use pas2p_phases::{extract_phases, PhaseAnalysis, PhaseTable, SimilarityConfig};
     pub use pas2p_signature::{
-        construct_signature, execute_signature, predict, rebuild_signature, run_plain,
-        run_traced, MpiApp, Prediction, RankProgram, Signature, SignatureConfig,
-        ValidationReport,
+        construct_signature, execute_signature, predict, rebuild_signature, run_plain, run_traced,
+        MpiApp, Prediction, RankProgram, Signature, SignatureConfig, ValidationReport,
     };
-    pub use pas2p_faults::{fault_matrix, FaultKind, FaultPlan};
     pub use pas2p_trace::{
         decode_recovering, Confidence, IngestReport, InstrumentationModel, Trace, TraceCollector,
         Traced,

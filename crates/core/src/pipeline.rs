@@ -90,8 +90,7 @@ impl std::fmt::Display for AnalysisError {
 impl std::error::Error for AnalysisError {}
 
 /// The PAS2P tool: configuration plus the pipeline entry points.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Pas2p {
     /// Phase-similarity thresholds (§3.3 step 5).
     pub similarity: SimilarityConfig,
@@ -100,7 +99,6 @@ pub struct Pas2p {
     /// Checkpoint/restart and relevance parameters (§3.4).
     pub signature: SignatureConfig,
 }
-
 
 impl Pas2p {
     /// Stage A (Fig 1 "Application analysis"): instrument and run the
@@ -221,6 +219,7 @@ impl Pas2p {
     ) -> Result<Analysis, AnalysisError> {
         let _span = pas2p_obs::span("pas2p.pipeline", "analyze_bytes");
 
+        crate::cancel::checkpoint();
         let mut st = pas2p_obs::stage("ingest");
         let (trace, mut report) = ingest::decode_recovering(buf);
         let Some(mut trace) = trace else {
@@ -240,6 +239,7 @@ impl Pas2p {
         st.items(trace.total_events() as u64);
         let ingest_seconds = st.finish();
 
+        crate::cancel::checkpoint();
         let mut st = pas2p_obs::stage("pas2p_order");
         let logical = match pas2p_model::try_pas2p_order(&trace) {
             Ok(l) => l,
@@ -254,6 +254,7 @@ impl Pas2p {
         st.items(trace.total_events() as u64);
         let order_seconds = st.finish();
 
+        crate::cancel::checkpoint();
         let analysis = extract_phases(&logical, &self.similarity);
         let tfat_seconds = ingest_seconds + order_seconds + analysis.analysis_seconds;
 
@@ -298,14 +299,8 @@ impl Pas2p {
                 "degraded analysis",
                 &[
                     ("app", app_name.to_string()),
-                    (
-                        "missing_ranks",
-                        report.missing_ranks().len().to_string(),
-                    ),
-                    (
-                        "quarantined",
-                        report.records_quarantined().to_string(),
-                    ),
+                    ("missing_ranks", report.missing_ranks().len().to_string()),
+                    ("quarantined", report.records_quarantined().to_string()),
                 ],
             );
         }
@@ -360,15 +355,23 @@ impl Pas2p {
     ) -> (Analysis, pas2p_trace::Trace, pas2p_model::LogicalTrace) {
         let _span = pas2p_obs::span("pas2p.pipeline", "analyze");
 
+        // Stage-boundary cancellation checkpoints: a run abandoned by
+        // the batch driver's deadline watcher unwinds at the next
+        // boundary instead of completing (and mutating obs state) on a
+        // detached thread after its report was sealed.
+        crate::cancel::checkpoint();
         let mut st = pas2p_obs::stage("run_traced");
         let (trace, report) = run_traced(app, base, policy, self.instrumentation);
         st.items(trace.total_events() as u64);
         st.finish();
 
+        crate::cancel::checkpoint();
         let mut st = pas2p_obs::stage("pas2p_order");
         let logical = pas2p_order(&trace);
         st.items(trace.total_events() as u64);
         let order_seconds = st.finish();
+
+        crate::cancel::checkpoint();
 
         // `extract_phases` records its own stage profile and returns the
         // same profiler reading as `analysis_seconds`, so TFAT and the

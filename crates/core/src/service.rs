@@ -1,0 +1,1003 @@
+//! The long-running prediction service: PAS2P's characterize-once /
+//! query-many split as a process.
+//!
+//! The paper separates signature *construction* (expensive: trace,
+//! order, extract, checkpoint — Stage A) from signature *execution*
+//! (cheap: run the relevant phases on a target — Stage B). The service
+//! makes that split operational: every submitted trace is analyzed at
+//! most once per (trace, base machine, config) thanks to the
+//! content-addressed [`SignatureStore`], and predictions for any
+//! (app, target machine) pair are canonical JSON artifacts served
+//! byte-identically from cache on repeat queries.
+//!
+//! # Protocol
+//!
+//! Newline-delimited JSON over stdin/stdout or a unix socket; one
+//! request per line, one response line per request:
+//!
+//! ```text
+//! {"op":"submit","app":"cg","nprocs":8,"base":"A"}
+//! {"op":"predict","app":"cg","nprocs":8,"base":"A","target":"B"}
+//! {"op":"batch","apps":["cg","lu"],"base":"A","targets":["B","C"],"workers":2}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses carry `ok`, the echoed `op`, and either `result` or
+//! `error`. The batch endpoint fans missing analyses out through the
+//! hardened [`run_batch_with`] driver (panic isolation, deadlines,
+//! retries), then serves every (app, target) prediction through the
+//! same cache path as single requests.
+//!
+//! Observability: a `serve.requests` counter, per-request stage
+//! profiles (`serve.submit` / `serve.predict` / `serve.batch` /
+//! `serve.stats`), and the store's `store.hit` / `store.miss` /
+//! `store.evict` counters.
+
+use crate::batch::{run_batch_with, BatchJob, BatchOptions};
+use crate::pipeline::{Analysis, Pas2p};
+use pas2p_machine::{preset_by_name, MachineModel, MappingPolicy};
+use pas2p_signature::{run_traced, MpiApp, Prediction};
+use pas2p_store::{
+    config_fingerprint, prediction_key, signature_alias, signature_key, ArtifactKind, IndexEntry,
+    Sidecar, SignatureStore, StoreKey, StoredSignature, STORE_FORMAT_VERSION,
+};
+use serde::Serialize;
+use serde_json::json;
+use std::io::{BufRead, Write};
+
+/// Resolves an application name + process count to a runnable app. The
+/// catalog lives in `pas2p-apps`, which sits above this crate in the
+/// dependency graph, so the caller injects the lookup (the CLI passes
+/// `pas2p_apps::by_name`).
+pub type AppResolver = Box<dyn Fn(&str, u32) -> Option<Box<dyn MpiApp>> + Send>;
+
+/// One service request, as decoded from a protocol line.
+#[derive(Debug)]
+pub enum Request {
+    /// Analyze an app on a base machine and store its signature.
+    Submit {
+        /// Catalog application name.
+        app: String,
+        /// Process count (default 8).
+        nprocs: u32,
+        /// Base machine preset (default "A").
+        base: String,
+    },
+    /// Predict an app's execution time on a target machine, serving
+    /// from the store whenever possible.
+    Predict {
+        /// Catalog application name.
+        app: String,
+        /// Process count (default 8).
+        nprocs: u32,
+        /// Base machine preset (default "A").
+        base: String,
+        /// Target machine preset.
+        target: String,
+    },
+    /// Analyze many apps (via the hardened batch driver) and predict
+    /// each on every target.
+    Batch {
+        /// Catalog application names.
+        apps: Vec<String>,
+        /// Process count (default 8).
+        nprocs: u32,
+        /// Base machine preset (default "A").
+        base: String,
+        /// Target machine presets to predict on (may be empty:
+        /// analyze/persist only).
+        targets: Vec<String>,
+        /// Batch worker threads.
+        workers: Option<usize>,
+        /// Per-job deadline in milliseconds.
+        deadline_ms: Option<u64>,
+        /// Retries per failing job.
+        retries: Option<u32>,
+    },
+    /// Service and store statistics.
+    Stats,
+    /// Stop the serve loop after responding.
+    Shutdown,
+}
+
+impl Request {
+    /// Decode one NDJSON protocol line. The wire format is spelled out
+    /// explicitly — it is a public contract, and the parser doubles as
+    /// its documentation: `op` selects the variant, `nprocs` defaults
+    /// to 8, `base` to `"A"`.
+    pub fn from_line(line: &str) -> Result<Request, String> {
+        let v: serde_json::Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+        let op = v
+            .get("op")
+            .and_then(serde_json::Value::as_str)
+            .ok_or_else(|| "missing string field \"op\"".to_string())?;
+        let string_field = |name: &str| -> Result<String, String> {
+            v.get(name)
+                .and_then(serde_json::Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("\"{op}\" requires a string field \"{name}\""))
+        };
+        let string_list = |name: &str| -> Result<Vec<String>, String> {
+            let bad = || format!("\"{name}\" must be an array of strings");
+            match v.get(name) {
+                None => Ok(Vec::new()),
+                Some(items) => items
+                    .as_array()
+                    .ok_or_else(bad)?
+                    .iter()
+                    .map(|item| item.as_str().map(str::to_string).ok_or_else(bad))
+                    .collect(),
+            }
+        };
+        let uint_field = |name: &str| -> Result<Option<u64>, String> {
+            match v.get(name) {
+                None => Ok(None),
+                Some(n) => n
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| format!("\"{name}\" must be a non-negative integer")),
+            }
+        };
+        let nprocs = match uint_field("nprocs")? {
+            None => 8,
+            Some(n) if n >= 1 && n <= u64::from(u32::MAX) => n as u32,
+            Some(_) => return Err("\"nprocs\" must be a positive integer".to_string()),
+        };
+        let base = match v.get("base") {
+            None => "A".to_string(),
+            Some(_) => string_field("base")?,
+        };
+        match op {
+            "submit" => Ok(Request::Submit {
+                app: string_field("app")?,
+                nprocs,
+                base,
+            }),
+            "predict" => Ok(Request::Predict {
+                app: string_field("app")?,
+                nprocs,
+                base,
+                target: string_field("target")?,
+            }),
+            "batch" => {
+                let apps = string_list("apps")?;
+                if apps.is_empty() {
+                    return Err("\"batch\" requires a non-empty \"apps\" array".to_string());
+                }
+                Ok(Request::Batch {
+                    apps,
+                    nprocs,
+                    base,
+                    targets: string_list("targets")?,
+                    workers: uint_field("workers")?.map(|n| n as usize),
+                    deadline_ms: uint_field("deadline_ms")?,
+                    retries: uint_field("retries")?.map(|n| n.min(u64::from(u32::MAX)) as u32),
+                })
+            }
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op '{other}'")),
+        }
+    }
+}
+
+/// One protocol response line.
+#[derive(Debug)]
+pub struct Response {
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// The request's operation (or `"invalid"`).
+    pub op: &'static str,
+    /// Failure description when `ok` is false.
+    pub error: Option<String>,
+    /// Operation result when `ok` is true.
+    pub result: Option<serde_json::Value>,
+}
+
+impl Response {
+    fn success(op: &'static str, result: serde_json::Value) -> Response {
+        Response {
+            ok: true,
+            op,
+            error: None,
+            result: Some(result),
+        }
+    }
+
+    fn failure(op: &'static str, error: String) -> Response {
+        Response {
+            ok: false,
+            op,
+            error: Some(error),
+            result: None,
+        }
+    }
+
+    /// The response as a JSON value; `error`/`result` are omitted when
+    /// absent, not emitted as `null`.
+    pub fn to_value(&self) -> serde_json::Value {
+        let mut v = json!({
+            "ok": self.ok,
+            "op": self.op,
+        });
+        if let Some(error) = &self.error {
+            v["error"] = json!(error.as_str());
+        }
+        if let Some(result) = &self.result {
+            v["result"] = result.clone();
+        }
+        v
+    }
+
+    /// The response as one NDJSON line (no trailing newline).
+    pub fn render(&self) -> String {
+        serde_json::to_string(&self.to_value())
+            .unwrap_or_else(|e| format!(r#"{{"ok":false,"op":"invalid","error":"encode: {e}"}}"#))
+    }
+}
+
+/// What a submit produced (or found).
+#[derive(Debug, Clone, Serialize)]
+pub struct SubmitOutcome {
+    /// The signature's content address.
+    pub digest: String,
+    /// True when the signature was already in the store.
+    pub cached: bool,
+    /// Resolved application name.
+    pub app: String,
+    /// Total phases in the analysis.
+    pub phases: usize,
+    /// Relevant phases in the signature.
+    pub relevant: usize,
+    /// Analysis confidence flag.
+    pub confidence: String,
+}
+
+/// What a predict produced (or found).
+#[derive(Debug, Clone)]
+pub struct PredictOutcome {
+    /// Resolved application name.
+    pub app: String,
+    /// Target machine name.
+    pub target: String,
+    /// The canonical prediction JSON — byte-identical between a cold
+    /// compute and every later cache hit.
+    pub prediction_json: String,
+    /// True when the prediction itself came from the store.
+    pub cached: bool,
+    /// True when the signature was served from the store (no Stage-A
+    /// work ran for this request).
+    pub signature_cached: bool,
+}
+
+/// Strip host-volatile fields so the serialized prediction is a stable
+/// artifact: wall-clock and the metrics snapshot vary run to run and
+/// would break the byte-identical cache-hit contract.
+pub fn canonicalize_prediction(prediction: &mut Prediction) {
+    prediction.wall_seconds = 0.0;
+    prediction.metrics = None;
+}
+
+/// The prediction service: a [`Pas2p`] pipeline in front of a
+/// [`SignatureStore`].
+pub struct PredictionService {
+    pas2p: Pas2p,
+    store: SignatureStore,
+    resolve: AppResolver,
+    policy: MappingPolicy,
+    requests: u64,
+}
+
+impl PredictionService {
+    /// A service over `store`, resolving app names through `resolve`.
+    pub fn new(pas2p: Pas2p, store: SignatureStore, resolve: AppResolver) -> PredictionService {
+        PredictionService {
+            pas2p,
+            store,
+            resolve,
+            policy: MappingPolicy::Block,
+            requests: 0,
+        }
+    }
+
+    /// The service's configuration fingerprint (see
+    /// [`config_fingerprint`]).
+    pub fn fingerprint(&self) -> String {
+        config_fingerprint(
+            &self.pas2p.similarity,
+            &self.pas2p.signature,
+            self.pas2p.instrumentation.per_event_seconds,
+        )
+    }
+
+    /// Shared view of the underlying store (report, len, index path).
+    pub fn store(&self) -> &SignatureStore {
+        &self.store
+    }
+
+    fn policy_label(&self) -> String {
+        serde_json::to_string(&self.policy).expect("policies serialize")
+    }
+
+    fn resolve_app(&self, name: &str, nprocs: u32) -> Result<Box<dyn MpiApp>, String> {
+        (self.resolve)(name, nprocs)
+            .ok_or_else(|| format!("unknown application '{name}' (nprocs {nprocs})"))
+    }
+
+    fn resolve_machine(name: &str) -> Result<MachineModel, String> {
+        preset_by_name(name).ok_or_else(|| format!("unknown machine preset '{name}'"))
+    }
+
+    /// Analyze `app` on `base`, construct the signature, and persist
+    /// both under the trace's content address. Returns the key and the
+    /// stored payload.
+    fn compute_and_store(
+        &mut self,
+        app: &dyn MpiApp,
+        base: &MachineModel,
+        fingerprint: &str,
+    ) -> Result<(StoreKey, StoredSignature), String> {
+        let (analysis, trace, _logical) = self.pas2p.analyze_full(app, base, self.policy.clone());
+        let trace_bytes = pas2p_trace::format::encode(&trace);
+        let key = signature_key(&trace_bytes, base, fingerprint);
+        drop(trace);
+        self.persist(app, analysis, base, key)
+    }
+
+    /// Persist an already-produced analysis (the batch path): re-run
+    /// the deterministic trace collection for the content address, then
+    /// construct and store. The expensive part — phase extraction —
+    /// already happened inside the batch driver and is not repeated.
+    fn persist_from_analysis(
+        &mut self,
+        app: &dyn MpiApp,
+        analysis: Analysis,
+        base: &MachineModel,
+        fingerprint: &str,
+    ) -> Result<(StoreKey, StoredSignature), String> {
+        let (trace, _) = run_traced(app, base, self.policy.clone(), self.pas2p.instrumentation);
+        let trace_bytes = pas2p_trace::format::encode(&trace);
+        let key = signature_key(&trace_bytes, base, fingerprint);
+        drop(trace);
+        self.persist(app, analysis, base, key)
+    }
+
+    fn persist(
+        &mut self,
+        app: &dyn MpiApp,
+        analysis: Analysis,
+        base: &MachineModel,
+        key: StoreKey,
+    ) -> Result<(StoreKey, StoredSignature), String> {
+        let (signature, _stats) =
+            self.pas2p
+                .build_signature(app, &analysis, base, self.policy.clone());
+        // Zero the one host-volatile field inside the payload; the real
+        // value rides in the sidecar. Everything else in the payload is
+        // deterministic for the key's inputs.
+        let mut stored_analysis = analysis.analysis;
+        stored_analysis.analysis_seconds = 0.0;
+        let payload = StoredSignature {
+            app_name: analysis.app_name,
+            workload: analysis.workload,
+            nprocs: analysis.nprocs,
+            base_machine: analysis.base_machine,
+            trace_bytes: analysis.trace_bytes,
+            trace_events: analysis.trace_events,
+            aet_instrumented: analysis.aet_instrumented,
+            confidence: analysis.confidence,
+            analysis: stored_analysis,
+            table: analysis.table,
+            signature,
+        };
+        let sidecar = Sidecar {
+            tfat_seconds: analysis.tfat_seconds,
+            metrics: analysis.metrics,
+        };
+        self.store
+            .put_signature(&key, &payload, sidecar)
+            .map_err(|e| e.to_string())?;
+        Ok((key, payload))
+    }
+
+    /// Ensure a signature for (app, nprocs, base) exists in the store;
+    /// returns the key, the payload, and whether it was served from
+    /// cache.
+    fn ensure_signature(
+        &mut self,
+        app_name: &str,
+        nprocs: u32,
+        base_name: &str,
+    ) -> Result<(StoreKey, StoredSignature, bool), String> {
+        let app = self.resolve_app(app_name, nprocs)?;
+        let base = Self::resolve_machine(base_name)?;
+        let fingerprint = self.fingerprint();
+        let alias = signature_alias(
+            &app.name(),
+            &app.workload(),
+            app.nprocs(),
+            &base.name,
+            &fingerprint,
+        );
+        if let Some(key) = self.store.lookup_alias(&alias) {
+            if let Some((payload, _sidecar)) = self.store.get_signature(&key) {
+                return Ok((key, payload, true));
+            }
+            // The entry was just evicted as corrupt/missing — fall
+            // through and recompute; the store already reported it.
+        }
+        let (key, payload) = self.compute_and_store(app.as_ref(), &base, &fingerprint)?;
+        Ok((key, payload, false))
+    }
+
+    /// `submit`: analyze + store (or confirm presence).
+    pub fn submit(
+        &mut self,
+        app_name: &str,
+        nprocs: u32,
+        base_name: &str,
+    ) -> Result<SubmitOutcome, String> {
+        let (key, payload, cached) = self.ensure_signature(app_name, nprocs, base_name)?;
+        Ok(SubmitOutcome {
+            digest: key.digest,
+            cached,
+            app: payload.app_name.clone(),
+            phases: payload.analysis.total_phases(),
+            relevant: payload.table.relevant_phases(),
+            confidence: payload.confidence.to_string(),
+        })
+    }
+
+    /// `predict`: serve the (app, target) prediction, from the store
+    /// when present, computing and persisting on the way otherwise.
+    pub fn predict(
+        &mut self,
+        app_name: &str,
+        nprocs: u32,
+        base_name: &str,
+        target_name: &str,
+    ) -> Result<PredictOutcome, String> {
+        let target = Self::resolve_machine(target_name)?;
+        let policy_label = self.policy_label();
+
+        // Fast path: alias → signature key → prediction key, without
+        // loading (or recomputing) the signature at all.
+        {
+            let app = self.resolve_app(app_name, nprocs)?;
+            let base = Self::resolve_machine(base_name)?;
+            let fingerprint = self.fingerprint();
+            let alias = signature_alias(
+                &app.name(),
+                &app.workload(),
+                app.nprocs(),
+                &base.name,
+                &fingerprint,
+            );
+            if let Some(sig_key) = self.store.lookup_alias(&alias) {
+                let pkey = prediction_key(&sig_key, &target, &policy_label);
+                if let Some(json) = self.store.get_prediction_json(&pkey) {
+                    return Ok(PredictOutcome {
+                        app: app.name(),
+                        target: target.name.clone(),
+                        prediction_json: json,
+                        cached: true,
+                        signature_cached: true,
+                    });
+                }
+            }
+        }
+
+        // Slow path: make sure the signature exists (cached Stage A or
+        // a fresh analysis), execute it on the target, canonicalize and
+        // persist the prediction.
+        let (sig_key, stored, signature_cached) =
+            self.ensure_signature(app_name, nprocs, base_name)?;
+        let pkey = prediction_key(&sig_key, &target, &policy_label);
+        let app = self.resolve_app(app_name, nprocs)?;
+        let mut prediction = self
+            .pas2p
+            .predict(
+                app.as_ref(),
+                &stored.signature,
+                &target,
+                self.policy.clone(),
+            )
+            .map_err(|e| format!("signature execution failed: {e}"))?;
+        canonicalize_prediction(&mut prediction);
+        let json = serde_json::to_string(&prediction).map_err(|e| e.to_string())?;
+        let entry = IndexEntry {
+            kind: ArtifactKind::Prediction,
+            format_version: STORE_FORMAT_VERSION,
+            fingerprint: pkey.fingerprint.clone(),
+            app: stored.app_name.clone(),
+            workload: stored.workload.clone(),
+            nprocs: stored.nprocs,
+            base: stored.base_machine.clone(),
+            target: Some(target.name.clone()),
+        };
+        self.store
+            .put_prediction_json(&pkey, entry, &json)
+            .map_err(|e| e.to_string())?;
+        Ok(PredictOutcome {
+            app: stored.app_name,
+            target: target.name,
+            prediction_json: json,
+            cached: false,
+            signature_cached,
+        })
+    }
+
+    /// `batch`: analyze every app not yet in the store through
+    /// [`run_batch_with`] (panic isolation, deadlines, retries),
+    /// persist the completed analyses, then serve the apps × targets
+    /// prediction matrix through the cache path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn batch(
+        &mut self,
+        apps: &[String],
+        nprocs: u32,
+        base_name: &str,
+        targets: &[String],
+        workers: Option<usize>,
+        deadline_ms: Option<u64>,
+        retries: Option<u32>,
+    ) -> Result<serde_json::Value, String> {
+        let base = Self::resolve_machine(base_name)?;
+        let fingerprint = self.fingerprint();
+
+        // Which apps still need Stage A?
+        let mut missing: Vec<String> = Vec::new();
+        let mut statuses = serde_json::Map::new();
+        for name in apps {
+            let app = self.resolve_app(name, nprocs)?;
+            let alias = signature_alias(
+                &app.name(),
+                &app.workload(),
+                app.nprocs(),
+                &base.name,
+                &fingerprint,
+            );
+            if self.store.lookup_alias(&alias).is_some() {
+                statuses.insert(name.clone(), json!("cached"));
+            } else {
+                missing.push(name.clone());
+            }
+        }
+
+        if !missing.is_empty() {
+            let jobs: Result<Vec<BatchJob>, String> = missing
+                .iter()
+                .map(|name| Ok(BatchJob::new(self.resolve_app(name, nprocs)?, base.clone())))
+                .collect();
+            let opts = BatchOptions {
+                workers,
+                deadline: deadline_ms.map(std::time::Duration::from_millis),
+                max_retries: retries.unwrap_or(0),
+                ..BatchOptions::default()
+            };
+            let report = run_batch_with(&self.pas2p, jobs?, opts);
+            for (name, result) in missing.iter().zip(report.results) {
+                statuses.insert(name.clone(), json!(result.status.to_string()));
+                if let Some(analysis) = result.analysis {
+                    let app = self.resolve_app(name, nprocs)?;
+                    self.persist_from_analysis(app.as_ref(), analysis, &base, &fingerprint)?;
+                }
+            }
+        }
+
+        let mut predictions = Vec::new();
+        for name in apps {
+            for target in targets {
+                match self.predict(name, nprocs, base_name, target) {
+                    Ok(outcome) => {
+                        let value: serde_json::Value =
+                            serde_json::from_str(&outcome.prediction_json)
+                                .map_err(|e| e.to_string())?;
+                        predictions.push(json!({
+                            "app": outcome.app,
+                            "target": outcome.target,
+                            "cached": outcome.cached,
+                            "prediction": value,
+                        }));
+                    }
+                    Err(error) => {
+                        predictions.push(json!({
+                            "app": name,
+                            "target": target,
+                            "error": error,
+                        }));
+                    }
+                }
+            }
+        }
+        Ok(json!({
+            "jobs": serde_json::Value::Object(statuses),
+            "predictions": predictions,
+        }))
+    }
+
+    /// `stats`: request counters, store shape, and the store report.
+    pub fn stats(&self) -> serde_json::Value {
+        let report = self.store.report();
+        let diagnostics: Vec<String> = self
+            .store
+            .diagnostics()
+            .iter()
+            .map(|d| format!("{}: {}", d.code, d.message))
+            .collect();
+        json!({
+            "requests": self.requests,
+            "entries": self.store.len(),
+            "format_version": STORE_FORMAT_VERSION,
+            "fingerprint": self.fingerprint(),
+            "store_report": report.to_value(),
+            "store_diagnostics": diagnostics,
+        })
+    }
+
+    /// Decode and execute one protocol line. Returns the response and
+    /// whether the serve loop should stop.
+    pub fn handle_line(&mut self, line: &str) -> (Response, bool) {
+        self.requests += 1;
+        if pas2p_obs::enabled() {
+            pas2p_obs::counter("serve.requests").add(1);
+        }
+        let request = match Request::from_line(line) {
+            Ok(r) => r,
+            Err(e) => {
+                return (
+                    Response::failure("invalid", format!("malformed request: {e}")),
+                    false,
+                )
+            }
+        };
+        match request {
+            Request::Submit { app, nprocs, base } => {
+                let mut st = pas2p_obs::stage("serve.submit");
+                st.items(1);
+                let response = match self.submit(&app, nprocs, &base) {
+                    Ok(outcome) => Response::success(
+                        "submit",
+                        json!({
+                            "digest": outcome.digest.as_str(),
+                            "cached": outcome.cached,
+                            "app": outcome.app.as_str(),
+                            "phases": outcome.phases,
+                            "relevant": outcome.relevant,
+                            "confidence": outcome.confidence.as_str(),
+                        }),
+                    ),
+                    Err(e) => Response::failure("submit", e),
+                };
+                st.finish();
+                (response, false)
+            }
+            Request::Predict {
+                app,
+                nprocs,
+                base,
+                target,
+            } => {
+                let mut st = pas2p_obs::stage("serve.predict");
+                st.items(1);
+                let response = match self.predict(&app, nprocs, &base, &target) {
+                    Ok(outcome) => {
+                        let prediction: serde_json::Value =
+                            serde_json::from_str(&outcome.prediction_json).unwrap_or_default();
+                        Response::success(
+                            "predict",
+                            json!({
+                                "app": outcome.app,
+                                "target": outcome.target,
+                                "cached": outcome.cached,
+                                "signature_cached": outcome.signature_cached,
+                                "prediction": prediction,
+                            }),
+                        )
+                    }
+                    Err(e) => Response::failure("predict", e),
+                };
+                st.finish();
+                (response, false)
+            }
+            Request::Batch {
+                apps,
+                nprocs,
+                base,
+                targets,
+                workers,
+                deadline_ms,
+                retries,
+            } => {
+                let mut st = pas2p_obs::stage("serve.batch");
+                st.items(apps.len() as u64);
+                let response = match self.batch(
+                    &apps,
+                    nprocs,
+                    &base,
+                    &targets,
+                    workers,
+                    deadline_ms,
+                    retries,
+                ) {
+                    Ok(result) => Response::success("batch", result),
+                    Err(e) => Response::failure("batch", e),
+                };
+                st.finish();
+                (response, false)
+            }
+            Request::Stats => {
+                let mut st = pas2p_obs::stage("serve.stats");
+                st.items(1);
+                let response = Response::success("stats", self.stats());
+                st.finish();
+                (response, false)
+            }
+            Request::Shutdown => (
+                Response::success("shutdown", json!({"stopping": true})),
+                true,
+            ),
+        }
+    }
+
+    /// Serve newline-delimited JSON requests from `input`, writing one
+    /// response line each to `output`, until EOF or a `shutdown`.
+    pub fn serve(&mut self, input: impl BufRead, mut output: impl Write) -> std::io::Result<()> {
+        for line in input.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (response, stop) = self.handle_line(&line);
+            writeln!(output, "{}", response.render())?;
+            output.flush()?;
+            if stop {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Serve over a unix socket: accept one connection at a time, run
+    /// the line protocol on it, and keep accepting until a client sends
+    /// `shutdown`. The socket file is created fresh and removed on
+    /// clean exit.
+    #[cfg(unix)]
+    pub fn serve_unix(&mut self, socket_path: &std::path::Path) -> std::io::Result<()> {
+        let _ = std::fs::remove_file(socket_path);
+        let listener = std::os::unix::net::UnixListener::bind(socket_path)?;
+        let mut stop = false;
+        while !stop {
+            let (stream, _addr) = listener.accept()?;
+            let reader = std::io::BufReader::new(stream.try_clone()?);
+            let mut writer = stream;
+            for line in reader.lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let (response, should_stop) = self.handle_line(&line);
+                writeln!(writer, "{}", response.render())?;
+                writer.flush()?;
+                if should_stop {
+                    stop = true;
+                    break;
+                }
+            }
+        }
+        let _ = std::fs::remove_file(socket_path);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pas2p;
+    use std::io::Cursor;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn temp_root(tag: &str) -> PathBuf {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "pas2p-serve-test-{}-{}-{}",
+            std::process::id(),
+            tag,
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn service(root: &std::path::Path) -> PredictionService {
+        let store = SignatureStore::open(root).expect("open store");
+        PredictionService::new(Pas2p::default(), store, Box::new(pas2p_apps::by_name))
+    }
+
+    #[test]
+    fn malformed_requests_fail_without_stopping_the_loop() {
+        let root = temp_root("malformed");
+        let mut svc = service(&root);
+        let (response, stop) = svc.handle_line("{definitely not json");
+        assert!(!response.ok);
+        assert_eq!(response.op, "invalid");
+        assert!(!stop);
+        let (response, stop) = svc.handle_line(r#"{"op":"no_such_op"}"#);
+        assert!(!response.ok);
+        assert!(!stop);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unknown_app_or_machine_is_an_error_response() {
+        let root = temp_root("unknown");
+        let mut svc = service(&root);
+        assert!(svc.submit("nosuchapp", 4, "A").is_err());
+        assert!(svc.predict("cg", 4, "A", "Z").is_err());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn submit_is_computed_once_then_served_from_the_store() {
+        let root = temp_root("submit");
+        let mut svc = service(&root);
+        let cold = svc.submit("cg", 4, "A").expect("cold submit");
+        assert!(!cold.cached);
+        assert!(cold.relevant > 0, "cg has relevant phases");
+        let warm = svc.submit("cg", 4, "A").expect("warm submit");
+        assert!(warm.cached, "second submit must hit the store");
+        assert_eq!(warm.digest, cold.digest, "same inputs, same address");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn warm_predictions_are_byte_identical_to_cold_ones() {
+        let root = temp_root("predict");
+        let mut svc = service(&root);
+        let cold = svc.predict("cg", 4, "A", "B").expect("cold predict");
+        assert!(!cold.cached);
+        assert!(!cold.signature_cached, "nothing was stored yet");
+        let warm = svc.predict("cg", 4, "A", "B").expect("warm predict");
+        assert!(warm.cached, "second predict must hit the prediction cache");
+        assert!(warm.signature_cached);
+        assert_eq!(
+            warm.prediction_json, cold.prediction_json,
+            "cache hits must be byte-identical to the cold compute"
+        );
+        // The canonical artifact carries no host-volatile fields.
+        let value: serde_json::Value = serde_json::from_str(&warm.prediction_json).unwrap();
+        assert_eq!(value["wall_seconds"], serde_json::json!(0.0));
+        assert!(value.get("metrics").is_none());
+
+        // A fresh service over the same store predicts without Stage A.
+        let mut svc2 = service(&root);
+        let reheated = svc2.predict("cg", 4, "A", "B").expect("reheated predict");
+        assert!(reheated.cached);
+        assert_eq!(reheated.prediction_json, cold.prediction_json);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn batch_analyzes_missing_apps_and_serves_the_matrix() {
+        let root = temp_root("batch");
+        let mut svc = service(&root);
+        svc.submit("cg", 4, "A").expect("pre-seed cg");
+        let result = svc
+            .batch(
+                &["cg".to_string(), "ft".to_string()],
+                4,
+                "A",
+                &["B".to_string()],
+                Some(2),
+                None,
+                Some(1),
+            )
+            .expect("batch");
+        assert_eq!(result["jobs"]["cg"], serde_json::json!("cached"));
+        assert_eq!(result["jobs"]["ft"], serde_json::json!("ok"));
+        let predictions = result["predictions"].as_array().expect("predictions");
+        assert_eq!(predictions.len(), 2, "apps x targets");
+        for p in predictions {
+            assert!(p.get("error").is_none(), "no prediction errors: {p}");
+            assert!(p["prediction"]["pet"].as_f64().unwrap() > 0.0);
+        }
+        // Everything is now cached: a second batch does zero Stage-A work.
+        let again = svc
+            .batch(
+                &["cg".to_string(), "ft".to_string()],
+                4,
+                "A",
+                &["B".to_string()],
+                None,
+                None,
+                None,
+            )
+            .expect("second batch");
+        assert_eq!(again["jobs"]["cg"], serde_json::json!("cached"));
+        assert_eq!(again["jobs"]["ft"], serde_json::json!("cached"));
+        for p in again["predictions"].as_array().unwrap() {
+            assert_eq!(p["cached"], serde_json::json!(true));
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn serve_loop_answers_each_line_and_stops_on_shutdown() {
+        let root = temp_root("loop");
+        let mut svc = service(&root);
+        let input = concat!(
+            r#"{"op":"submit","app":"cg","nprocs":4}"#,
+            "\n\n",
+            r#"{"op":"predict","app":"cg","nprocs":4,"target":"B"}"#,
+            "\n",
+            r#"{"op":"stats"}"#,
+            "\n",
+            r#"{"op":"shutdown"}"#,
+            "\n",
+            r#"{"op":"stats"}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        svc.serve(Cursor::new(input), &mut out).expect("serve");
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 4, "shutdown stops the loop mid-stream");
+        let submit: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(submit["ok"], serde_json::json!(true));
+        assert_eq!(submit["op"], serde_json::json!("submit"));
+        let predict: serde_json::Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(predict["ok"], serde_json::json!(true));
+        assert_eq!(
+            predict["result"]["signature_cached"],
+            serde_json::json!(true)
+        );
+        let stats: serde_json::Value = serde_json::from_str(lines[2]).unwrap();
+        assert_eq!(stats["result"]["entries"], serde_json::json!(2));
+        let shutdown: serde_json::Value = serde_json::from_str(lines[3]).unwrap();
+        assert_eq!(shutdown["result"]["stopping"], serde_json::json!(true));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_serves_the_same_protocol() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::os::unix::net::UnixStream;
+
+        let root = temp_root("socket");
+        let socket = root.join("pas2p.sock");
+        std::fs::create_dir_all(&root).expect("mkdir");
+        let socket_path = socket.clone();
+        let store_root = root.clone();
+        let server = std::thread::spawn(move || {
+            let mut svc = service(&store_root);
+            svc.serve_unix(&socket_path).expect("serve_unix");
+        });
+        // The listener needs a moment to bind.
+        let mut attempts = 0;
+        let stream = loop {
+            match UnixStream::connect(&socket) {
+                Ok(s) => break s,
+                Err(_) if attempts < 100 => {
+                    attempts += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                Err(e) => panic!("connect: {e}"),
+            }
+        };
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        writeln!(writer, r#"{{"op":"submit","app":"ft","nprocs":4}}"#).unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let submit: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(submit["ok"], serde_json::json!(true));
+        writeln!(writer, r#"{{"op":"shutdown"}}"#).unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        server.join().expect("server thread");
+        assert!(!socket.exists(), "socket file is removed on clean exit");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -86,10 +86,9 @@ fn push_app_timeline(doc: &mut ChromeTrace, trace: &Trace, phases: Option<&Phase
         doc.thread_name(PID_APP, rank as u64, &format!("rank {rank}"));
     }
 
-    // The simulator hands out msg_ids from a shared atomic counter, so
-    // their values vary with rank-thread interleaving. The send↔recv
-    // pairing they encode does not; renumber them in rank-major first-
-    // appearance order so two runs of the same app export identically.
+    // Simulator msg_ids are deterministic but sparse (sender rank in the
+    // high bits); renumber them in rank-major first-appearance order so
+    // Perfetto flow ids stay small and sequential.
     let mut msg_ids: HashMap<u64, u64> = HashMap::new();
     let mut next_msg = 1u64;
     for p in &trace.procs {

@@ -199,7 +199,10 @@ mod tests {
         let t1 = table(&[10, 1]);
         let t2 = table(&[20]);
         let err = WorkloadModel::fit(&[(10.0, &t1), (20.0, &t2)]).unwrap_err();
-        assert!(matches!(err, WorkloadFitError::PhaseStructureMismatch { .. }));
+        assert!(matches!(
+            err,
+            WorkloadFitError::PhaseStructureMismatch { .. }
+        ));
         assert!(err.to_string().contains("re-analyze"));
     }
 
@@ -237,7 +240,11 @@ mod tests {
 
     #[test]
     fn weights_clamp_at_zero() {
-        let fit = PhaseWeightFit { phase_id: 0, a: 1.0, b: -100.0 };
+        let fit = PhaseWeightFit {
+            phase_id: 0,
+            a: 1.0,
+            b: -100.0,
+        };
         assert_eq!(fit.weight_at(10.0), 0.0);
     }
 
@@ -246,8 +253,7 @@ mod tests {
         let t1 = table(&[11, 1]);
         let t2 = table(&[19, 1]);
         let t3 = table(&[31, 1]);
-        let model =
-            WorkloadModel::fit(&[(10.0, &t1), (20.0, &t2), (30.0, &t3)]).unwrap();
+        let model = WorkloadModel::fit(&[(10.0, &t1), (20.0, &t2), (30.0, &t3)]).unwrap();
         let w40 = model.fits[0].weight_at(40.0);
         assert!((w40 - 40.33).abs() < 1.0, "w40 = {}", w40);
     }

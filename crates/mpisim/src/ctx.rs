@@ -39,6 +39,11 @@ pub struct RankCtx {
     jitter: JitterStream,
     counters: Counters,
     core_share: u32,
+    /// Per-rank send sequence number, the low bits of every msg id this
+    /// rank allocates. Kept local (not a shared counter) so msg ids are
+    /// a function of the program, not of thread scheduling — traces of
+    /// the same logical run must be byte-identical.
+    next_msg_seq: u64,
 }
 
 impl RankCtx {
@@ -62,7 +67,21 @@ impl RankCtx {
             jitter,
             counters: Counters::default(),
             core_share,
+            next_msg_seq: 0,
         }
+    }
+
+    /// Allocate the next message id: `(rank + 1) << 40 | sequence`.
+    /// Deterministic (each rank numbers its own sends in program order),
+    /// globally unique, and never 0 — checkers use msg id 0 for "no
+    /// message relation". Within one sender ids stay monotone in send
+    /// order, the only ordering property wildcard matching's
+    /// `(depart, src, msg_id)` tie-break relies on across runs.
+    fn alloc_msg_id(&mut self) -> u64 {
+        let seq = self.next_msg_seq;
+        self.next_msg_seq += 1;
+        debug_assert!(seq < 1 << 40, "per-rank send sequence overflowed");
+        (u64::from(self.rank) + 1) << 40 | seq
     }
 
     /// Final virtual clock (used by the runtime after the closure returns).
@@ -259,11 +278,11 @@ impl Mpi for RankCtx {
     fn send(&mut self, dest: u32, tag: Tag, data: &[u8]) -> u64 {
         assert!(dest < self.size, "send to rank {} of {}", dest, self.size);
         self.check_abort();
+        let msg_id = self.alloc_msg_id();
         let machine = &self.shared.machine;
         let mapping = &self.shared.mapping;
         let base = machine.p2p_cost(mapping, self.rank, dest, data.len() as u64);
         let wire_cost = base * self.jitter.comm_factor();
-        let msg_id = self.shared.msg_ids.fetch_add(1, Ordering::Relaxed);
         // Sender-side CPU overhead: injecting the message costs roughly the
         // per-message overhead of the link used.
         let overhead = if mapping.loc(self.rank).node == mapping.loc(dest).node {

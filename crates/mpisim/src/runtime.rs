@@ -39,7 +39,6 @@ fn install_abort_hook() {
 pub(crate) struct Shared {
     pub machine: MachineModel,
     pub mapping: Mapping,
-    pub msg_ids: AtomicU64,
     pub abort: AtomicBool,
     pub slots: Mutex<HashMap<Group, Arc<CollSlot>>>,
     pub harness: Option<Arc<dyn SimHarness>>,
@@ -114,7 +113,6 @@ where
     let shared = Arc::new(Shared {
         machine: cfg.machine.clone(),
         mapping,
-        msg_ids: AtomicU64::new(1),
         abort: AtomicBool::new(false),
         slots: Mutex::new(HashMap::new()),
         harness: cfg.harness.clone(),

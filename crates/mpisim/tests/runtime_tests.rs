@@ -448,6 +448,37 @@ fn parking_lot_mutex_vec() -> parking_lot::Mutex<Vec<u64>> {
 }
 
 #[test]
+fn message_ids_are_deterministic_across_runs() {
+    // Msg ids must depend only on the program (sender rank + send order),
+    // never on how the OS interleaved rank threads: traces feed
+    // content-addressed storage, where a drifting id changes the digest
+    // of an identical logical run.
+    let observe = || {
+        let cfg = SimConfig::new(quiet_machine(), 4, MappingPolicy::Block);
+        let per_rank: Vec<parking_lot::Mutex<Vec<u64>>> =
+            (0..4).map(|_| parking_lot_mutex_vec()).collect();
+        let per_rank_ref = &per_rank;
+        run_app(&cfg, move |ctx| {
+            let n = ctx.size();
+            let rank = ctx.rank();
+            for round in 0..3u32 {
+                ctx.send((rank + 1) % n, round, &[2u8; 64]);
+                let m = ctx.recv(Some((rank + n - 1) % n), Some(round));
+                per_rank_ref[rank as usize].lock().push(m.msg_id);
+            }
+        });
+        per_rank
+            .into_iter()
+            .map(|m| m.into_inner())
+            .collect::<Vec<Vec<u64>>>()
+    };
+    let first = observe();
+    assert_eq!(first, observe());
+    // Sender rank lives in the high bits, send sequence in the low ones.
+    assert_eq!(first[1], vec![1 << 40, (1 << 40) | 1, (1 << 40) | 2]);
+}
+
+#[test]
 fn stress_64_ranks_mixed_traffic() {
     // 64 threads exchanging p2p + collectives for 30 rounds: exercises
     // the mailbox, rendezvous reuse, and group caching under real

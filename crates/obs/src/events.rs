@@ -178,7 +178,13 @@ thread_local! {
     static RING: RefCell<ThreadRing> = RefCell::new(ThreadRing::new());
 }
 
-fn record(name: String, cat: &'static str, ph: EventPhase, id: u64, args: Vec<(&'static str, String)>) {
+fn record(
+    name: String,
+    cat: &'static str,
+    ph: EventPhase,
+    id: u64,
+    args: Vec<(&'static str, String)>,
+) {
     RING.with(|ring| {
         let mut ring = ring.borrow_mut();
         let parent = *ring.open_spans.last().unwrap_or(&0);
@@ -302,6 +308,26 @@ pub fn flush() {
     RING.with(|ring| ring.borrow_mut().drain());
 }
 
+/// Throw away the calling thread's buffered events — and forget its
+/// open spans — without draining them into the sink. Returns how many
+/// events were discarded.
+///
+/// This is for abandoned runner threads: when a batch job is cancelled
+/// after its deadline expired, the partial timeline it recorded must
+/// not land in the report, but the exit-time `Drop` drain would publish
+/// it anyway (possibly long after the report was sealed). Events the
+/// thread already drained into the sink — a full ring, an earlier
+/// [`flush`] — are out of reach and stay.
+pub fn discard_local() -> usize {
+    RING.with(|ring| {
+        let mut ring = ring.borrow_mut();
+        let n = ring.buf.len();
+        ring.buf.clear();
+        ring.open_spans.clear();
+        n
+    })
+}
+
 /// Flush the calling thread's buffer and drain every event recorded so
 /// far (other live threads' ring contents arrive at their next
 /// [`flush`], overflow or exit). Events are returned in timestamp
@@ -412,6 +438,26 @@ mod tests {
         let events = take();
         assert_eq!(events.len(), 2, "exit drain must land before join returns");
         assert_eq!(events[0].name, "w1");
+    }
+
+    #[test]
+    fn discard_local_suppresses_the_exit_drain() {
+        let _g = guard();
+        set_tracing(true);
+        clear();
+        std::thread::spawn(|| {
+            let span = trace_span("host.worker", "abandoned");
+            drop(span);
+            let discarded = discard_local();
+            assert_eq!(discarded, 2, "begin + end were buffered");
+        })
+        .join()
+        .expect("worker thread");
+        set_tracing(false);
+        assert!(
+            take().is_empty(),
+            "discarded events must never reach the sink"
+        );
     }
 
     #[test]

@@ -97,6 +97,56 @@ impl SimilarityConfig {
         lo / hi >= threshold
     }
 
+    /// Integer volume similarity: `min/max ≥ threshold`, computed exactly.
+    ///
+    /// Volumes are `u64`, and `a.size as f64` is lossy above 2^53 — two
+    /// sizes differing by a few bytes rounded to the *same* f64 and always
+    /// compared similar. Equality is checked on the integers first (this
+    /// also makes two zero-size events similar by identity instead of via
+    /// the compute-noise floor, which has no meaning for byte counts); the
+    /// sub-2^53 range keeps the historical f64 division bit-for-bit; above
+    /// it the ratio test runs as an exact u128 cross-multiplication
+    /// against the threshold's own binary representation m·2⁻ˢ.
+    fn size_similar(a: u64, b: u64, threshold: f64) -> bool {
+        if a == b {
+            return true;
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        if threshold.is_nan() || threshold <= 0.0 {
+            // Degenerate configs (0, negative, NaN) accept every pair,
+            // matching the f64 path where lo/hi >= threshold always held.
+            return true;
+        }
+        if threshold > 1.0 || lo == 0 {
+            // lo < hi can never reach a ratio of 1, let alone above it.
+            return false;
+        }
+        if hi < (1u64 << 53) {
+            // Both sizes exact in f64: identical to the historical path.
+            return lo as f64 / hi as f64 >= threshold;
+        }
+        // threshold = m · 2⁻ˢ with integer m < 2^53; for thresholds in
+        // (0, 1], s ∈ [52, 1074]. Then lo/hi ≥ m·2⁻ˢ ⟺ lo·2ˢ ≥ m·hi,
+        // decided exactly in u128 (m·hi < 2^117 always fits).
+        let bits = threshold.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        let (m, s) = if exp == 0 {
+            (frac, 1074u32)
+        } else {
+            (frac | (1u64 << 52), (1075 - exp) as u32)
+        };
+        let rhs = (m as u128) * (hi as u128);
+        if s >= 118 {
+            return true; // lo·2ˢ ≥ 2^118 > 2^117 > m·hi
+        }
+        let lo = lo as u128;
+        if lo > (u128::MAX >> s) {
+            return true; // lo·2ˢ overflows u128, so it exceeds m·hi
+        }
+        (lo << s) >= rhs
+    }
+
     /// Event-pair similarity (step 5b): same communication type and
     /// similar volume, plus similar preceding compute time. An absent cell
     /// ("0" communication) is similar to anything (step 5b, third rule).
@@ -106,7 +156,7 @@ impl SimilarityConfig {
             (Some(a), Some(b)) => {
                 a.kind == b.kind
                     && a.peer_offset == b.peer_offset
-                    && Self::ratio_similar(a.size as f64, b.size as f64, self.size_ratio, 0.5)
+                    && Self::size_similar(a.size, b.size, self.size_ratio)
                     && Self::ratio_similar(
                         a.compute_before,
                         b.compute_before,
@@ -120,11 +170,7 @@ impl SimilarityConfig {
     /// Phase-level similarity (steps 5a + 5c): equal tick counts, and the
     /// fraction of similar event cells reaches `event_fraction`. Patterns
     /// are `[tick][process]` matrices.
-    pub fn phases_similar(
-        &self,
-        a: &[Vec<Option<CellSig>>],
-        b: &[Vec<Option<CellSig>>],
-    ) -> bool {
+    pub fn phases_similar(&self, a: &[Vec<Option<CellSig>>], b: &[Vec<Option<CellSig>>]) -> bool {
         if a.len() != b.len() {
             return false;
         }
@@ -247,6 +293,78 @@ mod tests {
         // 3 different of 10 = 70% similar → not similar.
         b[0][2] = s(100.0);
         assert!(!cfg.phases_similar(&a, &b));
+    }
+
+    #[test]
+    fn zero_sizes_are_similar_by_identity() {
+        let cfg = SimilarityConfig::default();
+        let a = sig(EventKind::Send, Some(1), 0, 1.0);
+        let b = sig(EventKind::Send, Some(1), 0, 1.0);
+        assert!(cfg.cells_similar(Some(&a), Some(&b)));
+        // A zero-size against a nonzero size is ratio 0: dissimilar. The
+        // old 0.5-floor path happened to agree for size 1 but for the
+        // wrong reason; pin the exact-comparison behaviour.
+        let c = sig(EventKind::Send, Some(1), 1, 1.0);
+        assert!(!cfg.cells_similar(Some(&a), Some(&c)));
+    }
+
+    #[test]
+    fn u64_max_sizes_compare_exactly() {
+        let cfg = SimilarityConfig::default();
+        let a = sig(EventKind::Send, Some(1), u64::MAX, 1.0);
+        assert!(cfg.cells_similar(Some(&a), Some(&a)));
+        // Adjacent huge sizes are within any ratio threshold < 1.
+        let b = sig(EventKind::Send, Some(1), u64::MAX - 1, 1.0);
+        assert!(cfg.cells_similar(Some(&a), Some(&b)));
+        // But a strict threshold of 1.0 must reject them: as f64 both
+        // sizes round to the same value and the lossy path said similar.
+        let strict = SimilarityConfig {
+            size_ratio: 1.0,
+            ..SimilarityConfig::default()
+        };
+        assert!(!strict.cells_similar(Some(&a), Some(&b)));
+        assert!(strict.cells_similar(Some(&a), Some(&a)));
+    }
+
+    #[test]
+    fn sizes_above_2_pow_53_keep_precision() {
+        // 2^60 and 2^60 + 1 are indistinguishable in f64.
+        let strict = SimilarityConfig {
+            size_ratio: 1.0,
+            ..SimilarityConfig::default()
+        };
+        let a = sig(EventKind::Send, Some(1), 1u64 << 60, 1.0);
+        let b = sig(EventKind::Send, Some(1), (1u64 << 60) + 1, 1.0);
+        assert!(!strict.cells_similar(Some(&a), Some(&b)));
+        // At the default 85% threshold the exact path still admits a
+        // genuine near-ratio (8/9 ≈ 0.889) and rejects a far one (1/2).
+        let cfg = SimilarityConfig::default();
+        let near = sig(EventKind::Send, Some(1), (1u64 << 60) + (1u64 << 57), 1.0);
+        let far = sig(EventKind::Send, Some(1), 1u64 << 61, 1.0);
+        assert!(cfg.cells_similar(Some(&a), Some(&near)));
+        assert!(!cfg.cells_similar(Some(&a), Some(&far)));
+    }
+
+    #[test]
+    fn size_similarity_below_2_pow_53_matches_f64_path() {
+        // The fix must not disturb the historical in-range behaviour that
+        // golden outputs depend on: spot-check the f64 division against
+        // the integer entry point across the threshold boundary.
+        let cfg = SimilarityConfig::default();
+        let s = |n: u64| sig(EventKind::Send, Some(1), n, 1.0);
+        for (a, b, expect) in [
+            (100, 85, true),
+            (100, 84, false),
+            (1u64 << 52, (1u64 << 52) - 1, true),
+            (7, 8, true),
+            (1, 2, false),
+        ] {
+            assert_eq!(
+                cfg.cells_similar(Some(&s(a)), Some(&s(b))),
+                expect,
+                "sizes {a} vs {b}"
+            );
+        }
     }
 
     #[test]

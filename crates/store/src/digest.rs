@@ -1,0 +1,229 @@
+//! A small, dependency-free SHA-256 (FIPS 180-4) for content addresses.
+//!
+//! The store keys artifacts by the digest of their inputs, so the hash
+//! must be stable across platforms, endianness and releases — a
+//! `DefaultHasher` guarantees none of that. The workspace forbids
+//! unsafe code and adds no external crates, so the compression function
+//! is written out here; throughput is irrelevant next to the pipeline
+//! work the store exists to avoid.
+
+/// Round constants: first 32 bits of the fractional parts of the cube
+/// roots of the first 64 primes.
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Streaming SHA-256 state: feed with [`Sha256::update`], close with
+/// [`Sha256::finish`].
+pub struct Sha256 {
+    /// Working hash values a..h.
+    h: [u32; 8],
+    /// Partially filled block.
+    block: [u8; 64],
+    /// Bytes currently in `block`.
+    fill: usize,
+    /// Total message length in bytes.
+    len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Sha256::new()
+    }
+}
+
+impl Sha256 {
+    /// A fresh hash state (the FIPS 180-4 initial values: fractional
+    /// parts of the square roots of the first 8 primes).
+    pub fn new() -> Sha256 {
+        Sha256 {
+            h: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            block: [0u8; 64],
+            fill: 0,
+            len: 0,
+        }
+    }
+
+    /// Absorb `data` into the state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.fill > 0 {
+            let take = rest.len().min(64 - self.fill);
+            self.block[self.fill..self.fill + take].copy_from_slice(&rest[..take]);
+            self.fill += take;
+            rest = &rest[take..];
+            if self.fill == 64 {
+                let block = self.block;
+                self.compress(&block);
+                self.fill = 0;
+            }
+        }
+        while rest.len() >= 64 {
+            let (head, tail) = rest.split_at(64);
+            let mut block = [0u8; 64];
+            block.copy_from_slice(head);
+            self.compress(&block);
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.block[..rest.len()].copy_from_slice(rest);
+            self.fill = rest.len();
+        }
+    }
+
+    /// Pad, close and return the 32-byte digest.
+    pub fn finish(mut self) -> [u8; 32] {
+        // The trailer carries the pre-padding length; capture it before
+        // the padding bytes inflate the running count.
+        let bit_len = self.len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.fill != 56 {
+            self.update(&[0x00]);
+        }
+        self.update(&bit_len.to_be_bytes());
+        let mut out = [0u8; 32];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.h) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes([
+                block[4 * i],
+                block[4 * i + 1],
+                block[4 * i + 2],
+                block[4 * i + 3],
+            ]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.h;
+        for (ki, wi) in K.iter().zip(w) {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(*ki)
+                .wrapping_add(wi);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (slot, v) in self.h.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *slot = slot.wrapping_add(v);
+        }
+    }
+}
+
+/// SHA-256 of `data` as a lowercase hex string — the store's content
+/// address format.
+pub fn sha256_hex(data: &[u8]) -> String {
+    let mut h = Sha256::new();
+    h.update(data);
+    to_hex(&h.finish())
+}
+
+/// Lowercase hex rendering of a digest.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+        out.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // FIPS 180-4 / NIST CAVP reference vectors.
+    #[test]
+    fn empty_input() {
+        assert_eq!(
+            sha256_hex(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(
+            sha256_hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_message() {
+        assert_eq!(
+            sha256_hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            sha256_hex(&data),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0u16..1000).map(|i| (i % 251) as u8).collect();
+        let one_shot = sha256_hex(&data);
+        for chunk in [1usize, 7, 63, 64, 65, 130] {
+            let mut h = Sha256::new();
+            for part in data.chunks(chunk) {
+                h.update(part);
+            }
+            assert_eq!(to_hex(&h.finish()), one_shot, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn exactly_one_block_boundary() {
+        // 55, 56 and 64 bytes exercise the padding edge cases.
+        for n in [55usize, 56, 64] {
+            let data = vec![0x5au8; n];
+            let mut h = Sha256::new();
+            h.update(&data);
+            let a = to_hex(&h.finish());
+            let b = sha256_hex(&data);
+            assert_eq!(a, b, "length {n}");
+            assert_eq!(a.len(), 64);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! `pas2p-store`: a content-addressed, versioned signature repository.
+//!
+//! PAS2P's economics rest on the construction/execution split (paper
+//! §IV): a signature is built **once** from an instrumented run on the
+//! base machine, then executed cheaply on any number of target machines.
+//! This crate is the "once": it persists what Stage A + construction
+//! produced — phase table, checkpoints, confidence flag, metrics
+//! snapshot — keyed by
+//! `digest(trace bytes ‖ base machine ‖ config fingerprint ‖ format
+//! version)`, plus canonical predictions keyed by
+//! `digest(signature ‖ target machine ‖ mapping policy)`.
+//!
+//! Properties the tests pin:
+//!
+//! * **Content addressing** — the key is derived from inputs, not
+//!   names; re-analyzing identical inputs lands on the same entry, and
+//!   execution knobs (worker counts) don't move the address.
+//! * **Byte stability** — payloads exclude host wall-clock values, so
+//!   two runs at different parallelism store identical payload bytes.
+//! * **Incremental invalidation** — config changes move the key
+//!   (old entries become unreachable; [`SignatureStore::evict_stale_configs`]
+//!   reclaims them), and format-version bumps evict at open.
+//! * **Corruption tolerance** — a damaged index is rebuilt from object
+//!   files; a damaged object fails its checksum, is evicted, and the
+//!   caller recomputes — all reported via [`StoreReport`] and `STORE-*`
+//!   diagnostics (the `IngestReport` pattern, one layer up).
+//!
+//! Observability: `store.hit` / `store.miss` / `store.evict` /
+//! `store.put` counters and a `store.entries` gauge, behind the same
+//! [`pas2p_obs::enabled`] gate as the rest of the stack.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod digest;
+mod key;
+mod report;
+mod store;
+
+pub use digest::{sha256_hex, Sha256};
+pub use key::{
+    config_fingerprint, prediction_key, signature_alias, signature_key, StoreKey,
+    STORE_FORMAT_VERSION,
+};
+pub use report::StoreReport;
+pub use store::{ArtifactKind, IndexEntry, Sidecar, SignatureStore, StoreError, StoredSignature};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    /// A unique, throwaway store root per test.
+    fn temp_root(tag: &str) -> PathBuf {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "pas2p-store-test-{}-{}-{}",
+            std::process::id(),
+            tag,
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn pred_entry(app: &str, target: &str) -> IndexEntry {
+        IndexEntry {
+            kind: ArtifactKind::Prediction,
+            format_version: STORE_FORMAT_VERSION,
+            fingerprint: "fp".into(),
+            app: app.into(),
+            workload: "w".into(),
+            nprocs: 8,
+            base: "A".into(),
+            target: Some(target.into()),
+        }
+    }
+
+    fn pred_key(n: u8) -> StoreKey {
+        StoreKey {
+            digest: sha256_hex(&[n]),
+            fingerprint: "fp".into(),
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrip_is_byte_identical() {
+        let root = temp_root("roundtrip");
+        let mut store = SignatureStore::open(&root).expect("open");
+        assert!(store.is_empty());
+        assert!(store.report().is_clean());
+
+        let key = pred_key(1);
+        let json = r#"{"app":"cg","pet":1.25}"#;
+        assert!(store.get_prediction_json(&key).is_none(), "cold miss");
+        store
+            .put_prediction_json(&key, pred_entry("cg", "B"), json)
+            .expect("put");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get_prediction_json(&key).as_deref(), Some(json));
+
+        // A fresh handle over the same directory serves the same bytes.
+        let mut reopened = SignatureStore::open(&root).expect("reopen");
+        assert!(reopened.report().is_clean());
+        assert_eq!(reopened.get_prediction_json(&key).as_deref(), Some(json));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_object_is_evicted_and_reported() {
+        let root = temp_root("corrupt");
+        let mut store = SignatureStore::open(&root).expect("open");
+        let key = pred_key(2);
+        store
+            .put_prediction_json(&key, pred_entry("cg", "B"), r#"{"pet":1.0}"#)
+            .expect("put");
+
+        // Flip payload bytes behind the store's back.
+        let obj_path = root.join("objects").join(format!("{}.json", key.digest));
+        let text = std::fs::read_to_string(&obj_path).expect("object file");
+        std::fs::write(&obj_path, text.replace("1.0", "9.9")).expect("tamper");
+
+        let mut store = SignatureStore::open(&root).expect("reopen");
+        assert!(
+            store.get_prediction_json(&key).is_none(),
+            "checksum mismatch must read as a miss"
+        );
+        assert_eq!(store.report().evicted_corrupt, 1);
+        assert!(store
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == "STORE-CORRUPT-001"));
+        assert_eq!(store.len(), 0, "the corrupt entry is gone");
+        assert!(!obj_path.exists(), "the corrupt object file is deleted");
+
+        // Recompute path: a fresh put over the same key works.
+        store
+            .put_prediction_json(&key, pred_entry("cg", "B"), r#"{"pet":1.0}"#)
+            .expect("re-put");
+        assert!(store.get_prediction_json(&key).is_some());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_object_file_is_evicted_and_reported() {
+        let root = temp_root("missing");
+        let mut store = SignatureStore::open(&root).expect("open");
+        let key = pred_key(3);
+        store
+            .put_prediction_json(&key, pred_entry("cg", "C"), "{}")
+            .expect("put");
+        std::fs::remove_file(root.join("objects").join(format!("{}.json", key.digest)))
+            .expect("delete object");
+        assert!(store.get_prediction_json(&key).is_none());
+        assert_eq!(store.report().evicted_missing, 1);
+        assert!(store
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == "STORE-OBJ-001"));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unreadable_index_is_rebuilt_from_objects() {
+        let root = temp_root("rebuild");
+        let mut store = SignatureStore::open(&root).expect("open");
+        let key = pred_key(4);
+        let json = r#"{"pet":2.5}"#;
+        store
+            .put_prediction_json(&key, pred_entry("lu", "D"), json)
+            .expect("put");
+        std::fs::write(root.join("index.json"), b"not json at all {{{").expect("clobber index");
+
+        let mut store = SignatureStore::open(&root).expect("reopen");
+        assert!(store.report().index_rebuilt);
+        assert!(store
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == "STORE-IDX-001"));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get_prediction_json(&key).as_deref(), Some(json));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn format_version_bump_evicts_at_open() {
+        let root = temp_root("version");
+        let mut store = SignatureStore::open(&root).expect("open");
+        let key = pred_key(5);
+        store
+            .put_prediction_json(&key, pred_entry("ft", "B"), "{}")
+            .expect("put");
+        drop(store);
+
+        // Rewrite the entry as if an older release had produced it.
+        let index_path = root.join("index.json");
+        let text = std::fs::read_to_string(&index_path).expect("index");
+        let mut value: serde_json::Value = serde_json::from_str(&text).expect("index json");
+        value["entries"][key.digest.as_str()]["format_version"] = serde_json::json!(0);
+        std::fs::write(&index_path, serde_json::to_string(&value).expect("encode"))
+            .expect("rewrite index");
+
+        let mut store = SignatureStore::open(&root).expect("reopen");
+        assert_eq!(store.report().evicted_version, 1);
+        assert!(store
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == "STORE-VER-001"));
+        assert!(store.get_prediction_json(&key).is_none());
+        assert!(store.is_empty());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn evict_stale_configs_keeps_the_pinned_fingerprint() {
+        let root = temp_root("stale");
+        let mut store = SignatureStore::open(&root).expect("open");
+        let keep = pred_key(6);
+        let mut drop_key = pred_key(7);
+        drop_key.fingerprint = "old-fp".into();
+        let mut old_entry = pred_entry("cg", "B");
+        old_entry.fingerprint = "old-fp".into();
+        store
+            .put_prediction_json(&keep, pred_entry("cg", "B"), "{}")
+            .expect("put");
+        store
+            .put_prediction_json(&drop_key, old_entry, "{}")
+            .expect("put");
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.evict_stale_configs("fp"), 1);
+        assert_eq!(store.len(), 1);
+        assert!(store.get_prediction_json(&keep).is_some());
+        assert!(store.get_prediction_json(&drop_key).is_none());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn wrong_kind_is_a_miss_not_a_panic() {
+        let root = temp_root("kind");
+        let mut store = SignatureStore::open(&root).expect("open");
+        let key = pred_key(8);
+        store
+            .put_prediction_json(&key, pred_entry("cg", "B"), "{}")
+            .expect("put");
+        assert!(store.get_signature(&key).is_none());
+        // The entry survives: kind mismatch is the caller's confusion,
+        // not corruption.
+        assert_eq!(store.len(), 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn explicit_evict_removes_entry_and_object() {
+        let root = temp_root("evict");
+        let mut store = SignatureStore::open(&root).expect("open");
+        let key = pred_key(9);
+        store
+            .put_prediction_json(&key, pred_entry("sp", "C"), "{}")
+            .expect("put");
+        assert!(store.evict(&key));
+        assert!(!store.evict(&key), "second evict is a no-op");
+        assert!(store.is_empty());
+        assert!(store.get_prediction_json(&key).is_none());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

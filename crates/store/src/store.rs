@@ -1,0 +1,670 @@
+//! The on-disk repository: an index file plus one object file per
+//! artifact, every byte of it accounted for.
+//!
+//! # Layout
+//!
+//! ```text
+//! <root>/index.json               digest → entry metadata, alias → digest
+//! <root>/objects/<digest>.json    wrapper { entry, checksum, payload, sidecar }
+//! ```
+//!
+//! The payload — the phase table, checkpoints, confidence flag, the
+//! signature itself — is stored as one canonical JSON string, covered
+//! by a SHA-256 checksum and free of host wall-clock values, so the
+//! same inputs always produce the same payload bytes (this is what the
+//! digest-stability tests pin). Volatile observations (TFAT seconds,
+//! the metrics snapshot) ride in a sidecar outside the checksum.
+//!
+//! Writes go through a temp file + rename, so a crash mid-write leaves
+//! either the old object or a stray temp file, never a torn artifact.
+//! Corruption is handled at read time: a bad object is evicted and
+//! reported ([`crate::StoreReport`]), and the caller recomputes.
+
+use crate::digest::sha256_hex;
+use crate::key::{signature_alias, StoreKey, STORE_FORMAT_VERSION};
+use crate::report::StoreReport;
+use pas2p_obs::MetricsSnapshot;
+use pas2p_phases::{PhaseAnalysis, PhaseTable};
+use pas2p_signature::Signature;
+use pas2p_trace::Confidence;
+use serde::{Deserialize, Serialize};
+use serde_json::{json, Map, Value};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// What kind of artifact an entry holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ArtifactKind {
+    /// A constructed signature plus its analysis artifacts.
+    Signature,
+    /// A canonical prediction produced by executing a signature.
+    Prediction,
+}
+
+/// Index metadata for one entry — enough to rebuild the index (and the
+/// alias map) from object files alone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexEntry {
+    /// Artifact kind.
+    pub kind: ArtifactKind,
+    /// Store format version the entry was written under.
+    pub format_version: u32,
+    /// Configuration fingerprint baked into the entry's key.
+    pub fingerprint: String,
+    /// Application name.
+    pub app: String,
+    /// Workload description.
+    pub workload: String,
+    /// Process count.
+    pub nprocs: u32,
+    /// Base machine name.
+    pub base: String,
+    /// Target machine name (predictions only).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub target: Option<String>,
+}
+
+/// The byte-stable signature payload: everything Stage A + construction
+/// produced that is deterministic for the key's inputs. Host timings
+/// live in the [`Sidecar`], not here.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoredSignature {
+    /// Application name.
+    pub app_name: String,
+    /// Workload description.
+    pub workload: String,
+    /// Process count.
+    pub nprocs: u32,
+    /// Base machine name.
+    pub base_machine: String,
+    /// Trace size in bytes (TFSize).
+    pub trace_bytes: u64,
+    /// Total recorded events.
+    pub trace_events: usize,
+    /// Virtual instrumented execution time (AET_PAS2P).
+    pub aet_instrumented: f64,
+    /// Analysis confidence flag.
+    pub confidence: Confidence,
+    /// The phase analysis, with its host `analysis_seconds` zeroed for
+    /// byte stability (the real value is in the sidecar's TFAT).
+    pub analysis: PhaseAnalysis,
+    /// The phase table feeding construction.
+    pub table: PhaseTable,
+    /// The constructed signature (phase rows + checkpoints + config).
+    pub signature: Signature,
+}
+
+/// Volatile observations attached to an entry outside the checksum:
+/// they describe the producing host run, not the artifact.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Sidecar {
+    /// Host seconds the producing analysis spent (TFAT).
+    pub tfat_seconds: f64,
+    /// Metrics snapshot captured when the artifact was produced.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub metrics: Option<MetricsSnapshot>,
+}
+
+/// One object file: metadata + checksummed payload + sidecar.
+#[derive(Debug, Clone)]
+struct StoredObject {
+    digest: String,
+    entry: IndexEntry,
+    checksum: String,
+    payload: String,
+    sidecar: Sidecar,
+}
+
+/// The index file.
+#[derive(Debug, Clone)]
+struct StoreIndex {
+    format_version: u32,
+    entries: BTreeMap<String, IndexEntry>,
+    aliases: BTreeMap<String, String>,
+}
+
+impl Default for StoreIndex {
+    fn default() -> Self {
+        StoreIndex {
+            format_version: STORE_FORMAT_VERSION,
+            entries: BTreeMap::new(),
+            aliases: BTreeMap::new(),
+        }
+    }
+}
+
+// The index and object envelopes are written through explicit `Value`
+// construction rather than derived serde impls: the wire format is a
+// durable contract (other tooling greps and tampers with these files in
+// tests and CI), so it is spelled out field by field here. The deep
+// payloads inside — `StoredSignature`, predictions, metrics — still use
+// their derived impls.
+
+fn kind_str(kind: ArtifactKind) -> &'static str {
+    match kind {
+        ArtifactKind::Signature => "signature",
+        ArtifactKind::Prediction => "prediction",
+    }
+}
+
+fn kind_from_str(s: &str) -> Option<ArtifactKind> {
+    match s {
+        "signature" => Some(ArtifactKind::Signature),
+        "prediction" => Some(ArtifactKind::Prediction),
+        _ => None,
+    }
+}
+
+fn entry_to_value(entry: &IndexEntry) -> Value {
+    let mut v = json!({
+        "kind": kind_str(entry.kind),
+        "format_version": entry.format_version,
+        "fingerprint": entry.fingerprint.as_str(),
+        "app": entry.app.as_str(),
+        "workload": entry.workload.as_str(),
+        "nprocs": entry.nprocs,
+        "base": entry.base.as_str(),
+    });
+    if let Some(target) = &entry.target {
+        v["target"] = json!(target.as_str());
+    }
+    v
+}
+
+fn entry_from_value(v: &Value) -> Option<IndexEntry> {
+    Some(IndexEntry {
+        kind: kind_from_str(v.get("kind")?.as_str()?)?,
+        format_version: v.get("format_version")?.as_u64()? as u32,
+        fingerprint: v.get("fingerprint")?.as_str()?.to_string(),
+        app: v.get("app")?.as_str()?.to_string(),
+        workload: v.get("workload")?.as_str()?.to_string(),
+        nprocs: v.get("nprocs")?.as_u64()? as u32,
+        base: v.get("base")?.as_str()?.to_string(),
+        target: v.get("target").and_then(Value::as_str).map(str::to_string),
+    })
+}
+
+fn sidecar_to_value(sidecar: &Sidecar) -> Value {
+    json!({
+        "tfat_seconds": sidecar.tfat_seconds,
+        "metrics": match &sidecar.metrics {
+            Some(m) => serde_json::to_value(m).unwrap_or_default(),
+            None => Value::Null,
+        },
+    })
+}
+
+fn sidecar_from_value(v: &Value) -> Sidecar {
+    Sidecar {
+        tfat_seconds: v
+            .get("tfat_seconds")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0),
+        metrics: v
+            .get("metrics")
+            .and_then(|m| serde_json::from_str(&m.to_string()).ok()),
+    }
+}
+
+fn object_to_value(obj: &StoredObject) -> Value {
+    json!({
+        "digest": obj.digest.as_str(),
+        "entry": entry_to_value(&obj.entry),
+        "checksum": obj.checksum.as_str(),
+        "payload": obj.payload.as_str(),
+        "sidecar": sidecar_to_value(&obj.sidecar),
+    })
+}
+
+fn object_from_value(v: &Value) -> Option<StoredObject> {
+    Some(StoredObject {
+        digest: v.get("digest")?.as_str()?.to_string(),
+        entry: entry_from_value(v.get("entry")?)?,
+        checksum: v.get("checksum")?.as_str()?.to_string(),
+        payload: v.get("payload")?.as_str()?.to_string(),
+        sidecar: v.get("sidecar").map(sidecar_from_value).unwrap_or_default(),
+    })
+}
+
+fn index_to_value(index: &StoreIndex) -> Value {
+    let mut entries = Map::new();
+    for (digest, entry) in &index.entries {
+        entries.insert(digest.clone(), entry_to_value(entry));
+    }
+    let mut aliases = Map::new();
+    for (alias, digest) in &index.aliases {
+        aliases.insert(alias.clone(), json!(digest.as_str()));
+    }
+    json!({
+        "format_version": index.format_version,
+        "entries": Value::Object(entries),
+        "aliases": Value::Object(aliases),
+    })
+}
+
+fn index_from_value(v: &Value) -> Option<StoreIndex> {
+    let mut index = StoreIndex {
+        format_version: v.get("format_version")?.as_u64()? as u32,
+        entries: BTreeMap::new(),
+        aliases: BTreeMap::new(),
+    };
+    for (digest, entry) in v.get("entries")?.as_object()? {
+        index.entries.insert(digest.clone(), entry_from_value(entry)?);
+    }
+    for (alias, digest) in v.get("aliases")?.as_object()? {
+        index.aliases.insert(alias.clone(), digest.as_str()?.to_string());
+    }
+    Some(index)
+}
+
+/// A store operation failed at the filesystem or encoding layer.
+/// Corrupt *entries* are not errors — they are evictions recorded in
+/// the [`StoreReport`]; this type is for the store itself being
+/// unusable (unwritable directory, full disk).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// Filesystem operation failed.
+    Io(String),
+    /// An artifact could not be serialized.
+    Encode(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::Encode(e) => write!(f, "store encoding error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+fn io_err(context: &str, e: std::io::Error) -> StoreError {
+    StoreError::Io(format!("{context}: {e}"))
+}
+
+/// The content-addressed signature repository.
+pub struct SignatureStore {
+    root: PathBuf,
+    index: StoreIndex,
+    report: StoreReport,
+}
+
+impl SignatureStore {
+    /// Open (or create) a store rooted at `root`.
+    ///
+    /// Opening validates what is already there: entries from another
+    /// format version are evicted, an unreadable index is rebuilt by
+    /// scanning the object files, and everything done is recorded in
+    /// [`SignatureStore::report`]. Corrupt payloads are *not* detected
+    /// here — checksums are verified lazily on access, so opening a
+    /// large store stays cheap.
+    pub fn open(root: impl Into<PathBuf>) -> Result<SignatureStore, StoreError> {
+        let root = root.into();
+        std::fs::create_dir_all(root.join("objects"))
+            .map_err(|e| io_err("creating store directories", e))?;
+        let mut report = StoreReport::default();
+        let index_path = root.join("index.json");
+        let mut index = match std::fs::read_to_string(&index_path) {
+            Ok(text) => match serde_json::from_str::<Value>(&text)
+                .ok()
+                .as_ref()
+                .and_then(index_from_value)
+            {
+                Some(index) => index,
+                None => {
+                    report.index_rebuilt = true;
+                    Self::rebuild_index(&root)
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => StoreIndex::default(),
+            Err(_) => {
+                report.index_rebuilt = true;
+                Self::rebuild_index(&root)
+            }
+        };
+
+        // Format-version invalidation: entries written under any other
+        // version are dropped wholesale — the key derivation itself is
+        // versioned, so they could never be addressed again anyway.
+        let stale: Vec<String> = index
+            .entries
+            .iter()
+            .filter(|(_, e)| e.format_version != STORE_FORMAT_VERSION)
+            .map(|(d, _)| d.clone())
+            .collect();
+        for digest in &stale {
+            index.entries.remove(digest);
+            index.aliases.retain(|_, d| d != digest);
+            let _ = std::fs::remove_file(root.join("objects").join(format!("{digest}.json")));
+            report.evicted_version += 1;
+            report.log_eviction(digest, "stale format version");
+            count_evict();
+        }
+        index.format_version = STORE_FORMAT_VERSION;
+        report.entries_loaded = index.entries.len();
+
+        let mut store = SignatureStore {
+            root,
+            index,
+            report,
+        };
+        if store.report.index_rebuilt || !stale.is_empty() {
+            store.flush_index()?;
+        }
+        Ok(store)
+    }
+
+    /// Reconstruct an index by scanning `objects/*.json`. Objects that
+    /// do not parse are left on disk; without an index entry they are
+    /// unreachable and harmless (and a later `put` may overwrite them).
+    fn rebuild_index(root: &Path) -> StoreIndex {
+        let mut index = StoreIndex::default();
+        let Ok(dir) = std::fs::read_dir(root.join("objects")) else {
+            return index;
+        };
+        for file in dir.flatten() {
+            let path = file.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            let Some(obj) = serde_json::from_str::<Value>(&text)
+                .ok()
+                .as_ref()
+                .and_then(object_from_value)
+            else {
+                continue;
+            };
+            // The filename must agree with the embedded digest, or the
+            // object was renamed/tampered and cannot be trusted.
+            if path.file_stem().and_then(|s| s.to_str()) != Some(obj.digest.as_str()) {
+                continue;
+            }
+            if obj.entry.kind == ArtifactKind::Signature {
+                let alias = signature_alias(
+                    &obj.entry.app,
+                    &obj.entry.workload,
+                    obj.entry.nprocs,
+                    &obj.entry.base,
+                    &obj.entry.fingerprint,
+                );
+                index.aliases.insert(alias, obj.digest.clone());
+            }
+            index.entries.insert(obj.digest.clone(), obj.entry);
+        }
+        index
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of the index file (CI uploads this as an artifact).
+    pub fn index_path(&self) -> PathBuf {
+        self.root.join("index.json")
+    }
+
+    /// What opening and serving from this store repaired.
+    pub fn report(&self) -> &StoreReport {
+        &self.report
+    }
+
+    /// The report as `STORE-*` diagnostics.
+    pub fn diagnostics(&self) -> Vec<pas2p_check::Diagnostic> {
+        self.report.diagnostics()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.index.entries.len()
+    }
+
+    /// True when the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.index.entries.is_empty()
+    }
+
+    /// Index metadata of a key's entry, if present. Does not touch the
+    /// object file and records no hit/miss.
+    pub fn entry(&self, key: &StoreKey) -> Option<&IndexEntry> {
+        self.index.entries.get(&key.digest)
+    }
+
+    /// Resolve a signature alias (see [`signature_alias`]) to its key.
+    pub fn lookup_alias(&self, alias: &str) -> Option<StoreKey> {
+        let digest = self.index.aliases.get(alias)?;
+        let entry = self.index.entries.get(digest)?;
+        Some(StoreKey {
+            digest: digest.clone(),
+            fingerprint: entry.fingerprint.clone(),
+        })
+    }
+
+    /// Load a stored signature. `None` is a miss — absent, wrong kind,
+    /// or evicted just now as corrupt/missing (see the report).
+    pub fn get_signature(&mut self, key: &StoreKey) -> Option<(StoredSignature, Sidecar)> {
+        let obj = self.load_object(key, ArtifactKind::Signature)?;
+        match serde_json::from_str::<StoredSignature>(&obj.payload) {
+            Ok(payload) => {
+                count_hit();
+                Some((payload, obj.sidecar))
+            }
+            Err(e) => {
+                self.evict_corrupt(&key.digest, &format!("signature payload: {e}"));
+                count_miss();
+                None
+            }
+        }
+    }
+
+    /// Load a stored prediction's canonical JSON, byte-for-byte as it
+    /// was put. `None` is a miss.
+    pub fn get_prediction_json(&mut self, key: &StoreKey) -> Option<String> {
+        let obj = self.load_object(key, ArtifactKind::Prediction)?;
+        count_hit();
+        Some(obj.payload)
+    }
+
+    /// Store a signature under `key`, registering its alias so later
+    /// requests can find it by (app, workload, nprocs, base, config).
+    pub fn put_signature(
+        &mut self,
+        key: &StoreKey,
+        payload: &StoredSignature,
+        sidecar: Sidecar,
+    ) -> Result<(), StoreError> {
+        let entry = IndexEntry {
+            kind: ArtifactKind::Signature,
+            format_version: STORE_FORMAT_VERSION,
+            fingerprint: key.fingerprint.clone(),
+            app: payload.app_name.clone(),
+            workload: payload.workload.clone(),
+            nprocs: payload.nprocs,
+            base: payload.base_machine.clone(),
+            target: None,
+        };
+        let text = serde_json::to_string(payload).map_err(|e| StoreError::Encode(e.to_string()))?;
+        let alias = signature_alias(
+            &entry.app,
+            &entry.workload,
+            entry.nprocs,
+            &entry.base,
+            &entry.fingerprint,
+        );
+        self.index.aliases.insert(alias, key.digest.clone());
+        self.write_object(key, entry, text, sidecar)
+    }
+
+    /// Store a prediction's canonical JSON under `key`.
+    pub fn put_prediction_json(
+        &mut self,
+        key: &StoreKey,
+        entry: IndexEntry,
+        canonical_json: &str,
+    ) -> Result<(), StoreError> {
+        self.write_object(key, entry, canonical_json.to_string(), Sidecar::default())
+    }
+
+    /// Remove one entry (index + object file). Returns whether it
+    /// existed.
+    pub fn evict(&mut self, key: &StoreKey) -> bool {
+        let existed = self.index.entries.remove(&key.digest).is_some();
+        if existed {
+            self.index.aliases.retain(|_, d| d != &key.digest);
+            let _ = std::fs::remove_file(self.object_path(&key.digest));
+            count_evict();
+            let _ = self.flush_index();
+        }
+        existed
+    }
+
+    /// Evict every entry whose fingerprint differs from `fingerprint`:
+    /// incremental invalidation after a config bump, for deployments
+    /// that pin one config and want the disk back. (Without this call,
+    /// other-config entries stay valid — the store is content-addressed
+    /// and can serve several configs side by side.)
+    pub fn evict_stale_configs(&mut self, fingerprint: &str) -> usize {
+        let stale: Vec<String> = self
+            .index
+            .entries
+            .iter()
+            .filter(|(_, e)| e.fingerprint != fingerprint)
+            .map(|(d, _)| d.clone())
+            .collect();
+        for digest in &stale {
+            self.index.entries.remove(digest);
+            self.index.aliases.retain(|_, d| d != digest);
+            let _ = std::fs::remove_file(self.object_path(digest));
+            self.report.log_eviction(digest, "stale config fingerprint");
+            count_evict();
+        }
+        if !stale.is_empty() {
+            let _ = self.flush_index();
+        }
+        stale.len()
+    }
+
+    fn object_path(&self, digest: &str) -> PathBuf {
+        self.root.join("objects").join(format!("{digest}.json"))
+    }
+
+    /// Read and verify one object. Misses are counted here; hits are
+    /// counted by the typed getters once the payload also parses.
+    fn load_object(&mut self, key: &StoreKey, kind: ArtifactKind) -> Option<StoredObject> {
+        if !self.index.entries.contains_key(&key.digest) {
+            count_miss();
+            return None;
+        }
+        let path = self.object_path(&key.digest);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => {
+                self.index.entries.remove(&key.digest);
+                self.index.aliases.retain(|_, d| d != &key.digest);
+                self.report.evicted_missing += 1;
+                self.report.log_eviction(&key.digest, "object file missing");
+                count_evict();
+                count_miss();
+                let _ = self.flush_index();
+                return None;
+            }
+        };
+        let obj = match serde_json::from_str::<Value>(&text)
+            .ok()
+            .as_ref()
+            .and_then(object_from_value)
+        {
+            Some(o) => o,
+            None => {
+                self.evict_corrupt(&key.digest, "object did not parse");
+                count_miss();
+                return None;
+            }
+        };
+        if obj.digest != key.digest || obj.checksum != sha256_hex(obj.payload.as_bytes()) {
+            self.evict_corrupt(&key.digest, "payload checksum mismatch");
+            count_miss();
+            return None;
+        }
+        if obj.entry.kind != kind {
+            count_miss();
+            return None;
+        }
+        Some(obj)
+    }
+
+    fn evict_corrupt(&mut self, digest: &str, reason: &str) {
+        self.index.entries.remove(digest);
+        self.index.aliases.retain(|_, d| d != digest);
+        let _ = std::fs::remove_file(self.object_path(digest));
+        self.report.evicted_corrupt += 1;
+        self.report.log_eviction(digest, reason);
+        count_evict();
+        let _ = self.flush_index();
+    }
+
+    fn write_object(
+        &mut self,
+        key: &StoreKey,
+        entry: IndexEntry,
+        payload: String,
+        sidecar: Sidecar,
+    ) -> Result<(), StoreError> {
+        let obj = StoredObject {
+            digest: key.digest.clone(),
+            checksum: sha256_hex(payload.as_bytes()),
+            entry: entry.clone(),
+            payload,
+            sidecar,
+        };
+        let text = serde_json::to_string(&object_to_value(&obj))
+            .map_err(|e| StoreError::Encode(e.to_string()))?;
+        write_atomic(&self.object_path(&key.digest), text.as_bytes())?;
+        self.index.entries.insert(key.digest.clone(), entry);
+        self.flush_index()?;
+        if pas2p_obs::enabled() {
+            pas2p_obs::counter("store.put").add(1);
+            pas2p_obs::gauge("store.entries").set(self.index.entries.len() as f64);
+        }
+        Ok(())
+    }
+
+    /// Persist the index. Called by every mutating operation; public so
+    /// long-running services can force a sync point.
+    pub fn flush_index(&mut self) -> Result<(), StoreError> {
+        let text = serde_json::to_string(&index_to_value(&self.index))
+            .map_err(|e| StoreError::Encode(e.to_string()))?;
+        write_atomic(&self.index_path(), text.as_bytes())
+    }
+}
+
+/// Write via temp file + rename so readers never observe a torn file.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes).map_err(|e| io_err("writing artifact", e))?;
+    std::fs::rename(&tmp, path).map_err(|e| io_err("publishing artifact", e))
+}
+
+fn count_hit() {
+    if pas2p_obs::enabled() {
+        pas2p_obs::counter("store.hit").add(1);
+    }
+}
+
+fn count_miss() {
+    if pas2p_obs::enabled() {
+        pas2p_obs::counter("store.miss").add(1);
+    }
+}
+
+fn count_evict() {
+    if pas2p_obs::enabled() {
+        pas2p_obs::counter("store.evict").add(1);
+    }
+}

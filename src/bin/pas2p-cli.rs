@@ -32,6 +32,8 @@ const USAGE: &str = "usage:
   pas2p-cli analyze   --app NAME --nprocs N --base M [--out FILE]
   pas2p-cli signature --app NAME --nprocs N --base M [--out FILE]
   pas2p-cli predict   --app NAME --nprocs N --signature FILE --target M
+  pas2p-cli predict   --app NAME --nprocs N --store DIR --target M [--base M]
+  pas2p-cli serve     --store DIR [--socket PATH] [--evict-stale]
   pas2p-cli validate  --app NAME --nprocs N --base M --target M
   pas2p-cli check     --app NAME --nprocs N --base M [--json] [--logical-out FILE]
   pas2p-cli check     --logical FILE [--json]
@@ -64,6 +66,19 @@ timeline: export a Chrome Trace / Perfetto JSON timeline (open at
   --trace, rebuilds the application tracks from a binary trace file;
   --validate checks a previously exported file against the Trace Event
   schema; --normalize emits the worker-count-invariant normalized form
+predict --store DIR: serve the prediction through the signature
+  repository — the signature is analyzed at most once per (trace, base
+  machine, config) and the canonical prediction JSON is cached, so a
+  repeat invocation does no Stage-A work and returns identical bytes
+  (--base defaults to A)
+serve: long-running prediction service over newline-delimited JSON on
+  stdin/stdout (one request per line, one response line each) or, with
+  --socket PATH, a unix socket; ops: submit, predict, batch, stats,
+  shutdown — e.g. {\"op\":\"predict\",\"app\":\"cg\",\"target\":\"B\"}
+  --store DIR      the signature repository backing the service
+  --socket PATH    listen on a unix socket instead of stdin
+  --evict-stale    drop entries whose config fingerprint no longer
+                   matches the current configuration before serving
 bench-report: run the full application suite through the batch driver and
   derive a schema-versioned performance record (TFAT, events/sec,
   jobs/sec, check-engine diagnostics/sec sequential vs parallel);
@@ -123,7 +138,7 @@ fn input(msg: String) -> CliError {
 }
 
 /// Flags that take no value; their presence maps to "true".
-const BOOL_FLAGS: &[&str] = &["json", "strict", "normalize"];
+const BOOL_FLAGS: &[&str] = &["json", "strict", "normalize", "evict-stale"];
 
 /// Parse `--flag value` pairs (and bare boolean flags), reporting exactly
 /// which flag is malformed.
@@ -160,8 +175,9 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
 /// output path when metric collection was requested.
 fn apply_obs_flags(flags: &HashMap<String, String>) -> Result<Option<String>, String> {
     if let Some(level) = flags.get("log-level") {
-        let level = pas2p_obs::Level::parse(level)
-            .ok_or_else(|| format!("bad --log-level '{level}' (off|error|warn|info|debug|trace)"))?;
+        let level = pas2p_obs::Level::parse(level).ok_or_else(|| {
+            format!("bad --log-level '{level}' (off|error|warn|info|debug|trace)")
+        })?;
         pas2p_obs::logger().set_level(level);
     }
     if let Some(path) = flags.get("log-file") {
@@ -196,9 +212,7 @@ fn write_trace_out(path: &str, label: &str) -> Result<(), String> {
 }
 
 fn machine(flags: &HashMap<String, String>, key: &str) -> Result<MachineModel, String> {
-    let name = flags
-        .get(key)
-        .ok_or_else(|| format!("missing --{}", key))?;
+    let name = flags.get(key).ok_or_else(|| format!("missing --{}", key))?;
     preset_by_name(name).ok_or_else(|| format!("unknown machine '{}'", name))
 }
 
@@ -242,7 +256,16 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
         "list" => {
             println!("applications (--app):");
             for name in [
-                "cg", "bt", "sp", "lu", "ft", "sweep3d", "smg2000", "pop", "moldy", "gromacs",
+                "cg",
+                "bt",
+                "sp",
+                "lu",
+                "ft",
+                "sweep3d",
+                "smg2000",
+                "pop",
+                "moldy",
+                "gromacs",
                 "masterworker",
             ] {
                 let a = pas2p_apps::by_name(name, 16).unwrap();
@@ -281,6 +304,47 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
             );
             let json = serde_json::to_string(&signature).map_err(|e| e.to_string())?;
             write_or_print(&flags, &json)?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "predict" if flags.contains_key("store") => {
+            // Repository-backed path: the store analyzes at most once
+            // per (trace, base, config) and serves repeat predictions
+            // as canonical cached JSON.
+            let name = flags.get("app").ok_or("missing --app")?.clone();
+            let nprocs: u32 = flags
+                .get("nprocs")
+                .ok_or("missing --nprocs")?
+                .parse()
+                .map_err(|_| format!("bad --nprocs '{}'", flags["nprocs"]))?;
+            let base = flags.get("base").map(String::as_str).unwrap_or("A");
+            let target = flags.get("target").ok_or("missing --target")?.clone();
+            let dir = flags.get("store").expect("guarded by match arm");
+            let store = pas2p_store::SignatureStore::open(std::path::Path::new(dir))
+                .map_err(|e| input(format!("opening store {dir}: {e}")))?;
+            if !store.report().is_clean() {
+                eprint!("{}", store.report().render());
+            }
+            let mut svc =
+                pas2p::PredictionService::new(pas2p, store, Box::new(pas2p_apps::by_name));
+            let outcome = svc.predict(&name, nprocs, base, &target).map_err(input)?;
+            let value: serde_json::Value =
+                serde_json::from_str(&outcome.prediction_json).map_err(|e| e.to_string())?;
+            println!(
+                "PET {:.3} s on {} (SET {:.3} s) [prediction: {}, signature: {}]",
+                value["pet"].as_f64().unwrap_or(f64::NAN),
+                outcome.target,
+                value["set"].as_f64().unwrap_or(f64::NAN),
+                if outcome.cached {
+                    "cache hit"
+                } else {
+                    "computed"
+                },
+                if outcome.signature_cached {
+                    "cache hit"
+                } else {
+                    "computed"
+                },
+            );
             Ok(ExitCode::SUCCESS)
         }
         "predict" => {
@@ -335,8 +399,8 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
                 // Recovery mode: decode a binary trace with the
                 // resync-capable ingest path and check whatever
                 // survived; the INGEST-* rules report what was lost.
-                let data = std::fs::read(path)
-                    .map_err(|e| input(format!("reading {}: {}", path, e)))?;
+                let data =
+                    std::fs::read(path).map_err(|e| input(format!("reading {}: {}", path, e)))?;
                 if data.is_empty() {
                     return Err(input(format!("{path} is empty")));
                 }
@@ -453,39 +517,40 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
             };
             // Fault injection: --fault-seed runs the built-in matrix,
             // --faults loads plans from a spec file. Mutually exclusive.
-            let plans: Vec<(String, FaultPlan)> = match
-                (flags.get("fault-seed"), flags.get("faults"))
-            {
-                (Some(_), Some(_)) => {
-                    return Err("--fault-seed and --faults are mutually exclusive".into());
-                }
-                (Some(seed), None) => {
-                    let seed: u64 = seed
-                        .parse()
-                        .map_err(|_| format!("bad --fault-seed '{seed}'"))?;
-                    fault_matrix(seed)
-                        .into_iter()
-                        .map(|(label, plan)| (label.to_string(), plan))
-                        .collect()
-                }
-                (None, Some(path)) => {
-                    let text = std::fs::read_to_string(path)
-                        .map_err(|e| input(format!("reading {}: {}", path, e)))?;
-                    pas2p_faults::parse_spec(&text)
-                        .map_err(|e| input(format!("parsing {}: {}", path, e)))?
-                        .into_iter()
-                        .enumerate()
-                        .map(|(i, plan)| (format!("plan{i}"), plan))
-                        .collect()
-                }
-                (None, None) => Vec::new(),
-            };
+            let plans: Vec<(String, FaultPlan)> =
+                match (flags.get("fault-seed"), flags.get("faults")) {
+                    (Some(_), Some(_)) => {
+                        return Err("--fault-seed and --faults are mutually exclusive".into());
+                    }
+                    (Some(seed), None) => {
+                        let seed: u64 = seed
+                            .parse()
+                            .map_err(|_| format!("bad --fault-seed '{seed}'"))?;
+                        fault_matrix(seed)
+                            .into_iter()
+                            .map(|(label, plan)| (label.to_string(), plan))
+                            .collect()
+                    }
+                    (None, Some(path)) => {
+                        let text = std::fs::read_to_string(path)
+                            .map_err(|e| input(format!("reading {}: {}", path, e)))?;
+                        pas2p_faults::parse_spec(&text)
+                            .map_err(|e| input(format!("parsing {}: {}", path, e)))?
+                            .into_iter()
+                            .enumerate()
+                            .map(|(i, plan)| (format!("plan{i}"), plan))
+                            .collect()
+                    }
+                    (None, None) => Vec::new(),
+                };
             let mut opts = pas2p::BatchOptions {
                 workers,
                 ..pas2p::BatchOptions::default()
             };
             if let Some(ms) = flags.get("deadline-ms") {
-                let ms: u64 = ms.parse().map_err(|_| format!("bad --deadline-ms '{ms}'"))?;
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|_| format!("bad --deadline-ms '{ms}'"))?;
                 opts.deadline = Some(std::time::Duration::from_millis(ms));
             }
             if let Some(n) = flags.get("retries") {
@@ -508,12 +573,9 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
                     // One job per app × plan; rebuild the app per plan so
                     // each job owns its own copy.
                     for (label, plan) in &plans {
-                        let app = pas2p_apps::by_name(name, nprocs)
-                            .expect("name validated above");
+                        let app = pas2p_apps::by_name(name, nprocs).expect("name validated above");
                         eprintln!("fault job: {name} × {label} ({})", plan.describe());
-                        jobs.push(
-                            pas2p::BatchJob::new(app, base.clone()).with_fault(plan.clone()),
-                        );
+                        jobs.push(pas2p::BatchJob::new(app, base.clone()).with_fault(plan.clone()));
                     }
                 }
             }
@@ -525,6 +587,49 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
             }
             if flags.contains_key("strict") && !report.all_completed() {
                 return Ok(ExitCode::from(1));
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "serve" => {
+            let dir = flags.get("store").ok_or("missing --store")?;
+            let mut store = pas2p_store::SignatureStore::open(std::path::Path::new(dir))
+                .map_err(|e| input(format!("opening store {dir}: {e}")))?;
+            if !store.report().is_clean() {
+                eprint!("{}", store.report().render());
+            }
+            if flags.contains_key("evict-stale") {
+                let fingerprint = pas2p_store::config_fingerprint(
+                    &pas2p.similarity,
+                    &pas2p.signature,
+                    pas2p.instrumentation.per_event_seconds,
+                );
+                let evicted = store.evict_stale_configs(&fingerprint);
+                if evicted > 0 {
+                    eprintln!("evicted {evicted} entr(ies) with stale config fingerprints");
+                }
+            }
+            eprintln!(
+                "pas2p serve: store {dir} ({} entr(ies)), one JSON request per line",
+                store.len()
+            );
+            let mut svc =
+                pas2p::PredictionService::new(pas2p, store, Box::new(pas2p_apps::by_name));
+            match flags.get("socket") {
+                #[cfg(unix)]
+                Some(path) => {
+                    eprintln!("listening on unix socket {path}");
+                    svc.serve_unix(std::path::Path::new(path))
+                        .map_err(|e| input(format!("serving on {path}: {e}")))?;
+                }
+                #[cfg(not(unix))]
+                Some(_) => {
+                    return Err("--socket requires a unix platform".into());
+                }
+                None => {
+                    let stdin = std::io::stdin();
+                    svc.serve(stdin.lock(), std::io::stdout())
+                        .map_err(|e| input(format!("serving on stdin: {e}")))?;
+                }
             }
             Ok(ExitCode::SUCCESS)
         }
@@ -571,13 +676,16 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
                 // order it, extract phases for the overlay track, and
                 // export the virtual-time domain (no host self-profile —
                 // the run that produced the trace is long gone).
-                let data = std::fs::read(path)
-                    .map_err(|e| input(format!("reading {}: {}", path, e)))?;
+                let data =
+                    std::fs::read(path).map_err(|e| input(format!("reading {}: {}", path, e)))?;
                 let (trace, ingest) = decode_recovering(&data);
                 let trace = trace.ok_or_else(|| {
                     input(format!(
                         "{path}: {}",
-                        ingest.fatal.clone().unwrap_or_else(|| "trace unusable".into())
+                        ingest
+                            .fatal
+                            .clone()
+                            .unwrap_or_else(|| "trace unusable".into())
                     ))
                 })?;
                 let logical = try_pas2p_order(&trace)
@@ -645,9 +753,21 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
                 ),
                 None => None,
             };
-            let label = flags.get("label").cloned().unwrap_or_else(|| "local".into());
+            let label = flags
+                .get("label")
+                .cloned()
+                .unwrap_or_else(|| "local".into());
             const SUITE: &[&str] = &[
-                "cg", "bt", "sp", "lu", "ft", "sweep3d", "smg2000", "pop", "moldy", "gromacs",
+                "cg",
+                "bt",
+                "sp",
+                "lu",
+                "ft",
+                "sweep3d",
+                "smg2000",
+                "pop",
+                "moldy",
+                "gromacs",
                 "masterworker",
             ];
             let jobs: Vec<pas2p::BatchJob> = SUITE
@@ -742,8 +862,7 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
                     println!("appended record #{len} to {path}");
                 }
                 None => {
-                    let json =
-                        serde_json::to_string_pretty(&record).map_err(|e| e.to_string())?;
+                    let json = serde_json::to_string_pretty(&record).map_err(|e| e.to_string())?;
                     println!("{json}");
                 }
             }

@@ -24,7 +24,9 @@ fn bad_usage_exits_nonzero() {
     let out = cli().args(["analyze", "--app", "cg"]).output().unwrap();
     assert!(!out.status.success());
     let out = cli()
-        .args(["analyze", "--app", "nonesuch", "--nprocs", "4", "--base", "A"])
+        .args([
+            "analyze", "--app", "nonesuch", "--nprocs", "4", "--base", "A",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());
@@ -35,10 +37,22 @@ fn bad_usage_exits_nonzero() {
 #[test]
 fn analyze_emits_analysis_json() {
     let out = cli()
-        .args(["analyze", "--app", "masterworker", "--nprocs", "4", "--base", "A"])
+        .args([
+            "analyze",
+            "--app",
+            "masterworker",
+            "--nprocs",
+            "4",
+            "--base",
+            "A",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     let analysis: pas2p::Analysis = serde_json::from_str(&stdout).unwrap();
     assert_eq!(analysis.nprocs, 4);
@@ -70,13 +84,14 @@ fn malformed_flags_name_the_culprit() {
         stderr
     );
 
-    let out = cli()
-        .args(["analyze", "app", "cg"])
-        .output()
-        .unwrap();
+    let out = cli().args(["analyze", "app", "cg"]).output().unwrap();
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(stderr.contains("expected a --flag, got 'app'"), "{}", stderr);
+    assert!(
+        stderr.contains("expected a --flag, got 'app'"),
+        "{}",
+        stderr
+    );
 
     let out = cli()
         .args(["analyze", "--app", "cg", "--app", "lu"])
@@ -110,7 +125,11 @@ fn metrics_flag_writes_snapshot_and_subcommand_renders_it() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // The standalone snapshot file has stage profiles and counters from
     // several crates.
@@ -138,7 +157,11 @@ fn metrics_flag_writes_snapshot_and_subcommand_renders_it() {
         .args(["metrics", "--analysis", analysis_path.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("stages:"), "{}", stdout);
     assert!(stdout.contains("mpisim.messages"), "{}", stdout);
@@ -153,21 +176,43 @@ fn signature_then_predict_roundtrip() {
 
     let out = cli()
         .args([
-            "signature", "--app", "masterworker", "--nprocs", "4", "--base", "A", "--out",
+            "signature",
+            "--app",
+            "masterworker",
+            "--nprocs",
+            "4",
+            "--base",
+            "A",
+            "--out",
             sig_str,
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = cli()
         .args([
-            "predict", "--app", "masterworker", "--nprocs", "4", "--signature", sig_str,
-            "--target", "B",
+            "predict",
+            "--app",
+            "masterworker",
+            "--nprocs",
+            "4",
+            "--signature",
+            sig_str,
+            "--target",
+            "B",
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("PET"), "{}", stdout);
 }
@@ -176,12 +221,23 @@ fn signature_then_predict_roundtrip() {
 fn validate_reports_pete() {
     let out = cli()
         .args([
-            "validate", "--app", "masterworker", "--nprocs", "4", "--base", "A", "--target",
+            "validate",
+            "--app",
+            "masterworker",
+            "--nprocs",
+            "4",
+            "--base",
+            "A",
+            "--target",
             "B",
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("PETE"), "{}", stdout);
 }
@@ -194,7 +250,14 @@ fn isa_mismatch_is_reported() {
     let sig_str = sig_path.to_str().unwrap();
     let out = cli()
         .args([
-            "signature", "--app", "masterworker", "--nprocs", "4", "--base", "A", "--out",
+            "signature",
+            "--app",
+            "masterworker",
+            "--nprocs",
+            "4",
+            "--base",
+            "A",
+            "--out",
             sig_str,
         ])
         .output()
@@ -202,8 +265,15 @@ fn isa_mismatch_is_reported() {
     assert!(out.status.success());
     let out = cli()
         .args([
-            "predict", "--app", "masterworker", "--nprocs", "4", "--signature", sig_str,
-            "--target", "D",
+            "predict",
+            "--app",
+            "masterworker",
+            "--nprocs",
+            "4",
+            "--signature",
+            sig_str,
+            "--target",
+            "D",
         ])
         .output()
         .unwrap();
@@ -218,15 +288,25 @@ fn check_reports_clean_apps_and_json_mode() {
         .args(["check", "--app", "cg", "--nprocs", "8", "--base", "A"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("0 error(s)"), "{}", stdout);
 
     let out = cli()
-        .args(["check", "--app", "cg", "--nprocs", "8", "--base", "A", "--json"])
+        .args([
+            "check", "--app", "cg", "--nprocs", "8", "--base", "A", "--json",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let report: pas2p_check::CheckReport =
         serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).unwrap();
     assert!(report.is_clean());
@@ -267,7 +347,8 @@ fn check_sarif_matches_golden_snapshot() {
         );
         let got = std::fs::read_to_string(&sarif_path).unwrap();
         let golden = std::fs::read_to_string(
-            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/masterworker_check.sarif"),
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("tests/golden/masterworker_check.sarif"),
         )
         .unwrap();
         assert_eq!(
@@ -337,7 +418,11 @@ fn check_baseline_roundtrip_suppresses_known_findings() {
 
     // A garbage baseline is an input error: exit 2, one diagnostic line.
     std::fs::write(&baseline_path, "not json").unwrap();
-    let out = cli().args(app).args(["--baseline", baseline_str]).output().unwrap();
+    let out = cli()
+        .args(app)
+        .args(["--baseline", baseline_str])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2));
 }
 
@@ -461,7 +546,11 @@ fn timeline_exports_validate_and_carry_both_domains() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let json = std::fs::read_to_string(&path).unwrap();
     let stats = pas2p::validate_chrome_json(&json).expect("exported timeline is valid");
@@ -481,7 +570,11 @@ fn timeline_exports_validate_and_carry_both_domains() {
         .args(["timeline", "--validate", path_str])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("valid Chrome Trace JSON"));
 
     // A non-timeline file is rejected with a one-line diagnostic.
@@ -519,7 +612,11 @@ fn trace_out_flag_writes_host_timeline() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let json = std::fs::read_to_string(&path).unwrap();
     let stats = pas2p::validate_chrome_json(&json).expect("self-profile is valid");
     assert!(stats.slices > 0);
@@ -548,7 +645,11 @@ fn metrics_format_prom_emits_exposition() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = cli()
         .args([
@@ -560,10 +661,20 @@ fn metrics_format_prom_emits_exposition() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("# TYPE pas2p_mpisim_messages counter"), "{stdout}");
-    assert!(stdout.contains("pas2p_stage_wall_seconds{stage=\"run_traced\"}"), "{stdout}");
+    assert!(
+        stdout.contains("# TYPE pas2p_mpisim_messages counter"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("pas2p_stage_wall_seconds{stage=\"run_traced\"}"),
+        "{stdout}"
+    );
 
     let out = cli()
         .args([
@@ -590,7 +701,11 @@ fn bench_report_prints_and_appends_records() {
         .args(["bench-report", "--nprocs", "4", "--label", "t1"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let record: pas2p::BenchRecord =
         serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).unwrap();
     assert_eq!(record.schema, pas2p::BENCH_SCHEMA_VERSION);
@@ -617,7 +732,11 @@ fn bench_report_prints_and_appends_records() {
             ])
             .output()
             .unwrap();
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
     }
     let trajectory: Vec<pas2p::BenchRecord> =
         serde_json::from_str(&std::fs::read_to_string(&record_path).unwrap()).unwrap();
@@ -636,15 +755,34 @@ fn check_corrupted_logical_trace_exits_nonzero() {
 
     let out = cli()
         .args([
-            "check", "--app", "cg", "--nprocs", "8", "--base", "A", "--logical-out", model_str,
+            "check",
+            "--app",
+            "cg",
+            "--nprocs",
+            "8",
+            "--base",
+            "A",
+            "--logical-out",
+            model_str,
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // The exported model itself checks clean.
-    let out = cli().args(["check", "--logical", model_str]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    let out = cli()
+        .args(["check", "--logical", model_str])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
 
     // Swap two ticks: receives now precede their sends and per-process
     // event numbering is no longer monotone.
@@ -654,7 +792,10 @@ fn check_corrupted_logical_trace_exits_nonzero() {
     model.ticks.swap(0, mid);
     std::fs::write(&model_path, serde_json::to_string(&model).unwrap()).unwrap();
 
-    let out = cli().args(["check", "--logical", model_str]).output().unwrap();
+    let out = cli()
+        .args(["check", "--logical", model_str])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
@@ -662,4 +803,104 @@ fn check_corrupted_logical_trace_exits_nonzero() {
         "expected a named rule violation, got:\n{}",
         stdout
     );
+}
+
+#[test]
+fn serve_answers_ndjson_and_hits_the_cache() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let store = std::env::temp_dir().join(format!("pas2p-cli-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let mut child = cli()
+        .args(["serve", "--store", store.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(
+            concat!(
+                r#"{"op":"submit","app":"cg","nprocs":4}"#,
+                "\n",
+                r#"{"op":"predict","app":"cg","nprocs":4,"target":"B"}"#,
+                "\n",
+                r#"{"op":"predict","app":"cg","nprocs":4,"target":"B"}"#,
+                "\n",
+                r#"{"op":"shutdown"}"#,
+                "\n",
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let lines: Vec<serde_json::Value> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert_eq!(lines.len(), 4, "one response line per request");
+    assert_eq!(lines[0]["op"], serde_json::json!("submit"));
+    assert_eq!(lines[0]["ok"], serde_json::json!(true));
+    assert_eq!(lines[0]["result"]["cached"], serde_json::json!(false));
+    // The submit stored the signature: the first predict skips Stage A.
+    assert_eq!(
+        lines[1]["result"]["signature_cached"],
+        serde_json::json!(true)
+    );
+    assert_eq!(lines[1]["result"]["cached"], serde_json::json!(false));
+    // The second predict is a pure cache hit with identical values.
+    assert_eq!(lines[2]["result"]["cached"], serde_json::json!(true));
+    assert_eq!(
+        lines[1]["result"]["prediction"],
+        lines[2]["result"]["prediction"]
+    );
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn predict_with_store_caches_across_invocations() {
+    let store = std::env::temp_dir().join(format!("pas2p-cli-predict-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let args = [
+        "predict",
+        "--app",
+        "ft",
+        "--nprocs",
+        "4",
+        "--store",
+        store.to_str().unwrap(),
+        "--target",
+        "B",
+    ];
+    let cold = cli().args(args).output().unwrap();
+    assert!(
+        cold.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let cold_stdout = String::from_utf8_lossy(&cold.stdout).into_owned();
+    assert!(cold_stdout.contains("[prediction: computed, signature: computed]"));
+
+    let warm = cli().args(args).output().unwrap();
+    assert!(warm.status.success());
+    let warm_stdout = String::from_utf8_lossy(&warm.stdout).into_owned();
+    assert!(
+        warm_stdout.contains("[prediction: cache hit, signature: cache hit]"),
+        "{warm_stdout}"
+    );
+    // Same PET down to the printed precision.
+    assert_eq!(
+        cold_stdout.split(" [").next(),
+        warm_stdout.split(" [").next()
+    );
+    let _ = std::fs::remove_dir_all(&store);
 }
