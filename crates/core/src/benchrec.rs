@@ -17,9 +17,42 @@ use crate::batch::BatchReport;
 
 /// Version stamp written into every record.
 ///
-/// v2 added the optional `check` block (check-engine throughput); v1
-/// records deserialize with `check: None`.
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+/// v2 added the optional `check` block (check-engine throughput); v3
+/// added the optional `kernel` block (similarity-kernel timing). Records
+/// from older schemas deserialize with the newer blocks as `None`.
+pub const BENCH_SCHEMA_VERSION: u32 = 3;
+
+/// Similarity-kernel timing inside a [`BenchRecord`]: the same logical
+/// trace extracted with the scalar reference walk and with the SoA
+/// kernel (banded prefilters + LSH bucketing), sequentially and over a
+/// worker pool. The outputs are byte-identical by construction
+/// (`tests/kernel_equivalence.rs`); only the time and the skip counters
+/// differ.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelBenchStat {
+    /// Application the extraction was timed over.
+    pub app: String,
+    /// Worker threads in the parallel SoA configuration.
+    pub workers: usize,
+    /// Unique phases extracted (identical in every configuration).
+    pub phases: u64,
+    /// Sequential scalar extraction, wall-clock seconds.
+    pub scalar_seconds: f64,
+    /// Sequential SoA extraction, wall-clock seconds.
+    pub soa_seconds: f64,
+    /// Parallel SoA extraction, wall-clock seconds.
+    pub soa_parallel_seconds: f64,
+    /// `scalar_seconds / soa_seconds` (0 when not measurable).
+    pub soa_speedup: f64,
+    /// `scalar_seconds / soa_parallel_seconds` (0 when not measurable).
+    pub total_speedup: f64,
+    /// Candidates rejected by the band prefilter (sequential SoA run).
+    pub band_rejects: u64,
+    /// Known phases skipped by LSH bucketing (sequential SoA run).
+    pub lsh_skipped: u64,
+    /// Full comparisons that survived the prefilters (sequential SoA run).
+    pub soa_compares: u64,
+}
 
 /// Check-engine throughput measurements inside a [`BenchRecord`]
 /// (`pas2p-cli bench-report` runs the full rule set over one analyzed
@@ -97,6 +130,10 @@ pub struct BenchRecord {
     /// schema-v1 records and when `bench-report` skips the check pass).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub check: Option<CheckBenchStat>,
+    /// Similarity-kernel timing, when the run measured it (absent in
+    /// pre-v3 records).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub kernel: Option<KernelBenchStat>,
 }
 
 fn rate(num: f64, den: f64) -> f64 {
@@ -162,6 +199,7 @@ pub fn bench_record(
         events_per_sec: rate(total_events as f64, total_tfat),
         apps,
         check: None,
+        kernel: None,
     }
 }
 
@@ -217,6 +255,42 @@ mod tests {
         assert_eq!(rec.events_per_sec, 0.0, "no completed analyses");
         assert_eq!(rec.apps[0].status, "failed");
         assert_eq!(rec.jobs_per_sec, 2.0);
+    }
+
+    #[test]
+    fn pre_v3_records_deserialize_without_kernel_block() {
+        // A v2-era record has no `kernel` (and a v1-era one no `check`);
+        // both must load as None so old trajectory files keep reading.
+        let mut rec = bench_record(&report_with_one_failure(), "old", 8, "ClusterA");
+        rec.schema = 2;
+        rec.check = None;
+        rec.kernel = None;
+        let json = serde_json::to_string(&rec).unwrap();
+        assert!(!json.contains("\"kernel\""), "None must not serialize");
+        assert!(!json.contains("\"check\""));
+        let back: BenchRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn kernel_block_round_trips() {
+        let mut rec = bench_record(&report_with_one_failure(), "k", 8, "ClusterA");
+        rec.kernel = Some(KernelBenchStat {
+            app: "cg".into(),
+            workers: 4,
+            phases: 12,
+            scalar_seconds: 0.9,
+            soa_seconds: 0.2,
+            soa_parallel_seconds: 0.1,
+            soa_speedup: 4.5,
+            total_speedup: 9.0,
+            band_rejects: 100,
+            lsh_skipped: 400,
+            soa_compares: 20,
+        });
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: BenchRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
     }
 
     #[test]

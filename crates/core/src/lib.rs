@@ -47,7 +47,8 @@ pub use batch::{
     run_batch, run_batch_with, BatchJob, BatchOptions, BatchReport, BatchResult, BatchStatus,
 };
 pub use benchrec::{
-    append_record, bench_record, BenchAppStat, BenchRecord, CheckBenchStat, BENCH_SCHEMA_VERSION,
+    append_record, bench_record, BenchAppStat, BenchRecord, CheckBenchStat, KernelBenchStat,
+    BENCH_SCHEMA_VERSION,
 };
 pub use cancel::{cancelled, with_cancel, CancelToken};
 pub use pipeline::{Analysis, AnalysisError, Pas2p};
@@ -67,7 +68,9 @@ pub mod prelude {
     };
     pub use pas2p_model::{lamport_order, pas2p_order, try_pas2p_order, LogicalTrace, ModelError};
     pub use pas2p_mpisim::{run_app, Group, Mpi, RankCtx, ReduceOp, SimConfig};
-    pub use pas2p_phases::{extract_phases, PhaseAnalysis, PhaseTable, SimilarityConfig};
+    pub use pas2p_phases::{
+        extract_phases, PhaseAnalysis, PhaseTable, SimilarityConfig, SimilarityKernel,
+    };
     pub use pas2p_signature::{
         construct_signature, execute_signature, predict, rebuild_signature, run_plain, run_traced,
         MpiApp, Prediction, RankProgram, Signature, SignatureConfig, ValidationReport,

@@ -11,7 +11,8 @@
 //! phase the sequential first-match walk would have picked. Output is
 //! therefore byte-identical to the sequential path for any worker count.
 
-use crate::sig::{CellSig, SimilarityConfig};
+use crate::sig::{CellSig, SimilarityConfig, SimilarityKernel};
+use crate::soa::{SoaIndex, SoaPattern};
 use pas2p_model::LogicalTrace;
 use pas2p_trace::EventKind;
 use serde::{Deserialize, Serialize};
@@ -76,8 +77,7 @@ impl Phase {
         if self.occurrences.is_empty() {
             return 0.0;
         }
-        self.occurrences.iter().map(|o| o.duration()).sum::<f64>()
-            / self.occurrences.len() as f64
+        self.occurrences.iter().map(|o| o.duration()).sum::<f64>() / self.occurrences.len() as f64
     }
 
     /// `weight × mean duration`: this phase's share of the application
@@ -186,20 +186,33 @@ pub fn extract_phases(lt: &LogicalTrace, cfg: &SimilarityConfig) -> PhaseAnalysi
         running_counts: vec![0u64; lt.nprocs as usize],
         phases: Vec::new(),
         known: Vec::new(),
+        index: SoaIndex::new(),
         comparisons: 0,
         dedupe_hits: 0,
         par_compares: 0,
+        band_rejects: 0,
+        lsh_skipped: 0,
+        soa_compares: 0,
         negative_spans: 0,
     };
 
     let workers = cfg.effective_parallelism();
-    if workers > 1 && !windows.is_empty() {
-        merger.merge_parallel(&windows, workers);
-    } else {
-        for &(s, e) in &windows {
-            let (pattern, occurrence) = merger.candidate(s, e);
-            let hit = merger.first_match(&pattern);
-            merger.commit(hit, pattern, occurrence);
+    match cfg.kernel {
+        SimilarityKernel::Scalar if workers > 1 && !windows.is_empty() => {
+            merger.merge_parallel(&windows, workers);
+        }
+        SimilarityKernel::Scalar => {
+            for &(s, e) in &windows {
+                let (pattern, occurrence) = merger.candidate(s, e);
+                let hit = merger.first_match(&pattern);
+                merger.commit(hit, pattern, occurrence);
+            }
+        }
+        SimilarityKernel::Soa if workers > 1 && !windows.is_empty() => {
+            merger.merge_soa_parallel(&windows, workers);
+        }
+        SimilarityKernel::Soa => {
+            merger.merge_soa_sequential(&windows);
         }
     }
 
@@ -221,6 +234,13 @@ pub fn extract_phases(lt: &LogicalTrace, cfg: &SimilarityConfig) -> PhaseAnalysi
         pas2p_obs::counter("phases.dedupe_hits").add(merger.dedupe_hits);
         if merger.par_compares > 0 {
             pas2p_obs::counter("extract.par.compares").add(merger.par_compares);
+        }
+        if matches!(cfg.kernel, SimilarityKernel::Soa) {
+            // Always registered (even at 0) so the SoA kernel's skip
+            // behaviour is visible in every metrics snapshot.
+            pas2p_obs::counter("extract.band.rejects").add(merger.band_rejects);
+            pas2p_obs::counter("extract.lsh.skipped").add(merger.lsh_skipped);
+            pas2p_obs::counter("extract.soa.compares").add(merger.soa_compares);
         }
         if merger.negative_spans > 0 {
             pas2p_obs::counter("extract.negative_span").add(merger.negative_spans);
@@ -300,6 +320,23 @@ struct MatchResult {
     compares: u64,
 }
 
+/// SoA-kernel unit of matching work: one chunk of a candidate's LSH
+/// bucket, carried as `(global index, pattern)` pairs in ascending
+/// index order.
+struct SoaMatchTask {
+    round: usize,
+    entries: Vec<(u32, Arc<SoaPattern>)>,
+    candidate: Arc<SoaPattern>,
+}
+
+/// A worker's answer for one SoA chunk.
+struct SoaMatchResult {
+    round: usize,
+    hit: Option<u32>,
+    compares: u64,
+    band_rejects: u64,
+}
+
 /// Step 5: dedupe candidate windows into phases, in discovery order.
 struct Merger<'a> {
     lt: &'a LogicalTrace,
@@ -310,14 +347,26 @@ struct Merger<'a> {
     /// contiguous, so this always equals the counts at the next start.
     running_counts: Vec<u64>,
     phases: Vec<Phase>,
-    /// Shared mirror of `phases[i].pattern`, cheap to hand to workers.
+    /// Shared mirror of `phases[i].pattern`, cheap to hand to workers
+    /// (scalar kernel only).
     known: Vec<Arc<Pattern>>,
+    /// Columnar mirror of the known phases with LSH buckets (SoA kernel
+    /// only).
+    index: SoaIndex,
     /// Similarity comparisons the *sequential* first-match walk would
-    /// perform (step 5 cost driver) — identical for every worker count.
+    /// perform (step 5 cost driver) — identical for every worker count
+    /// and for both kernels.
     comparisons: u64,
     /// Comparisons actually executed by pool workers (chunk scans do not
     /// stop at the global first match, so this can exceed `comparisons`).
     par_compares: u64,
+    /// Candidate×known pairs the band prefilter rejected (SoA kernel).
+    band_rejects: u64,
+    /// Candidate×known pairs never examined because the known phase sits
+    /// in a different LSH bucket (SoA kernel).
+    lsh_skipped: u64,
+    /// Full SoA comparisons actually executed (after band + LSH skips).
+    soa_compares: u64,
     /// Windows absorbed into an existing phase instead of creating one.
     dedupe_hits: u64,
     /// Occurrences constructed with `t_end < t_start`.
@@ -329,6 +378,12 @@ impl Merger<'_> {
     /// the running per-process event counts.
     fn candidate(&mut self, s: usize, e: usize) -> (Arc<Pattern>, Occurrence) {
         let pattern = Arc::new(self.pattern_of(s, e));
+        (pattern, self.occurrence_of(s, e))
+    }
+
+    /// Build the occurrence of the window `[s, e)`, advancing the running
+    /// per-process event counts.
+    fn occurrence_of(&mut self, s: usize, e: usize) -> Occurrence {
         let start_counts = self.running_counts.clone();
         for tick in &self.lt.ticks[s..e] {
             for ev in &tick.events {
@@ -339,15 +394,14 @@ impl Merger<'_> {
         if t_end < t_start {
             self.negative_spans += 1;
         }
-        let occurrence = Occurrence {
+        Occurrence {
             start_tick: s,
             end_tick: e,
             t_start,
             t_end,
             start_counts,
             end_counts: self.running_counts.clone(),
-        };
-        (pattern, occurrence)
+        }
     }
 
     /// Sequential first match among the known phases.
@@ -481,6 +535,173 @@ impl Merger<'_> {
         });
     }
 
+    /// Fold a SoA first-match result into the phase list. The AoS
+    /// representative pattern is only materialized on a miss — dedupe
+    /// hits (the common case) never touch the AoS layout at all.
+    fn commit_soa(
+        &mut self,
+        hit: Option<usize>,
+        candidate: Arc<SoaPattern>,
+        s: usize,
+        e: usize,
+        occurrence: Occurrence,
+    ) {
+        self.comparisons += match hit {
+            Some(i) => i as u64 + 1,
+            None => self.index.len() as u64,
+        };
+        match hit {
+            Some(i) => {
+                self.dedupe_hits += 1;
+                let phase = &mut self.phases[i];
+                phase.weight += 1;
+                phase.occurrences.push(occurrence);
+            }
+            None => {
+                self.phases.push(Phase {
+                    id: self.phases.len() as u32,
+                    pattern: self.pattern_of(s, e),
+                    weight: 1,
+                    occurrences: vec![occurrence],
+                });
+                self.index.push(candidate);
+            }
+        }
+    }
+
+    /// Step 5 on the SoA kernel, sequentially: bucket lookup, band
+    /// prefilter, columnar compare — same first match as the scalar walk.
+    fn merge_soa_sequential(&mut self, windows: &[(usize, usize)]) {
+        for &(s, e) in windows {
+            let occurrence = self.occurrence_of(s, e);
+            let candidate = Arc::new(SoaPattern::from_ticks(self.lt, s, e));
+            let (hit, stats) = self.index.first_match(self.cfg, &candidate);
+            self.soa_compares += stats.compares;
+            self.band_rejects += stats.band_rejects;
+            self.lsh_skipped += stats.lsh_skipped;
+            self.commit_soa(hit, candidate, s, e, occurrence);
+        }
+    }
+
+    /// The parallel SoA merge: only the candidate's LSH bucket is
+    /// chunked across the pool (other buckets cannot match), each worker
+    /// reports its chunk-local first match, and the merge takes the
+    /// smallest global index — bucket entries ascend, so that is exactly
+    /// the sequential first match.
+    fn merge_soa_parallel(&mut self, windows: &[(usize, usize)], workers: usize) {
+        let (task_tx, task_rx) = crossbeam::channel::unbounded::<SoaMatchTask>();
+        let (res_tx, res_rx) = crossbeam::channel::unbounded::<SoaMatchResult>();
+        let cfg = *self.cfg;
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let rx = task_rx.clone();
+                let tx = res_tx.clone();
+                scope.spawn(move || {
+                    // Worker-pool lane on the timeline; dropped by the
+                    // normalized export (lane count varies with the
+                    // parallelism knob, so it cannot be deterministic).
+                    let worker_span = if pas2p_obs::tracing_enabled() {
+                        Some(pas2p_obs::trace_span(
+                            pas2p_obs::CAT_HOST_WORKER,
+                            &format!("extract worker {w}"),
+                        ))
+                    } else {
+                        None
+                    };
+                    let mut tasks_done = 0u64;
+                    let mut worker_compares = 0u64;
+                    while let Ok(task) = rx.recv() {
+                        let mut compares = 0u64;
+                        let mut band_rejects = 0u64;
+                        let mut hit = None;
+                        for (idx, known) in &task.entries {
+                            if !cfg.band_admits(known, &task.candidate) {
+                                band_rejects += 1;
+                                continue;
+                            }
+                            compares += 1;
+                            if cfg.soa_phases_similar(known, &task.candidate) {
+                                hit = Some(*idx);
+                                break;
+                            }
+                        }
+                        tasks_done += 1;
+                        worker_compares += compares;
+                        if tx
+                            .send(SoaMatchResult {
+                                round: task.round,
+                                hit,
+                                compares,
+                                band_rejects,
+                            })
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                    if let Some(span) = worker_span {
+                        span.finish_with(vec![
+                            ("tasks", tasks_done.to_string()),
+                            ("compares", worker_compares.to_string()),
+                        ]);
+                        // The scope unblocks before this thread's TLS
+                        // destructors run — flush while it still waits.
+                        pas2p_obs::events::flush();
+                    }
+                });
+            }
+            drop(task_rx);
+            drop(res_tx);
+
+            for (round, &(s, e)) in windows.iter().enumerate() {
+                let occurrence = self.occurrence_of(s, e);
+                let candidate = Arc::new(SoaPattern::from_ticks(self.lt, s, e));
+                let bucket_len = self.index.bucket(candidate.sketch()).len();
+                let hit = if bucket_len >= PAR_MIN_KNOWN.max(workers) {
+                    self.lsh_skipped += (self.index.len() - bucket_len) as u64;
+                    let entries: Vec<(u32, Arc<SoaPattern>)> = self
+                        .index
+                        .bucket(candidate.sketch())
+                        .iter()
+                        .map(|&i| (i, Arc::clone(self.index.get(i as usize))))
+                        .collect();
+                    let chunk = entries.len().div_ceil(workers);
+                    let mut sent = 0usize;
+                    for slice in entries.chunks(chunk) {
+                        let task = SoaMatchTask {
+                            round,
+                            entries: slice.to_vec(),
+                            candidate: Arc::clone(&candidate),
+                        };
+                        assert!(task_tx.send(task).is_ok(), "extract worker pool alive");
+                        sent += 1;
+                    }
+                    let mut best: Option<u32> = None;
+                    for _ in 0..sent {
+                        let r = res_rx.recv().expect("extract worker result");
+                        debug_assert_eq!(r.round, round);
+                        self.par_compares += r.compares;
+                        self.soa_compares += r.compares;
+                        self.band_rejects += r.band_rejects;
+                        best = match (best, r.hit) {
+                            (Some(b), Some(h)) => Some(b.min(h)),
+                            (b, h) => b.or(h),
+                        };
+                    }
+                    best.map(|b| b as usize)
+                } else {
+                    let (hit, stats) = self.index.first_match(self.cfg, &candidate);
+                    self.soa_compares += stats.compares;
+                    self.band_rejects += stats.band_rejects;
+                    self.lsh_skipped += stats.lsh_skipped;
+                    hit
+                };
+                self.commit_soa(hit, candidate, s, e, occurrence);
+            }
+            drop(task_tx);
+        });
+    }
+
     fn pattern_of(&self, s: usize, e: usize) -> Pattern {
         self.lt.ticks[s..e]
             .iter()
@@ -540,7 +761,11 @@ mod tests {
                 (
                     i,
                     0u32,
-                    if i % 2 == 0 { EventKind::Send } else { EventKind::Recv },
+                    if i % 2 == 0 {
+                        EventKind::Send
+                    } else {
+                        EventKind::Recv
+                    },
                     64u64,
                     0.01f64,
                 )
@@ -558,7 +783,13 @@ mod tests {
         // Prologue of unique events, then an iterative pattern: the split
         // rule must produce a prologue phase and an iteration phase.
         let mut cells = vec![
-            (0, 0, EventKind::Coll(pas2p_trace::CollClass::Bcast), 8, 0.02),
+            (
+                0,
+                0,
+                EventKind::Coll(pas2p_trace::CollClass::Bcast),
+                8,
+                0.02,
+            ),
             (1, 0, EventKind::Send, 999, 0.03),
         ];
         // Iterations: Send(64)/Recv(64) pairs.
@@ -566,7 +797,11 @@ mod tests {
             cells.push((
                 2 + i,
                 0,
-                if i % 2 == 0 { EventKind::Send } else { EventKind::Recv },
+                if i % 2 == 0 {
+                    EventKind::Send
+                } else {
+                    EventKind::Recv
+                },
                 64,
                 0.01,
             ));
@@ -586,7 +821,11 @@ mod tests {
                 (
                     i,
                     0u32,
-                    if i % 2 == 0 { EventKind::Send } else { EventKind::Recv },
+                    if i % 2 == 0 {
+                        EventKind::Send
+                    } else {
+                        EventKind::Recv
+                    },
                     64u64,
                     0.01f64,
                 )
@@ -616,7 +855,11 @@ mod tests {
                 (
                     i,
                     0u32,
-                    if i % 2 == 0 { EventKind::Send } else { EventKind::Recv },
+                    if i % 2 == 0 {
+                        EventKind::Send
+                    } else {
+                        EventKind::Recv
+                    },
                     64u64,
                     0.01f64,
                 )
@@ -653,7 +896,11 @@ mod tests {
             cells.push((
                 1 + i,
                 0,
-                if i % 2 == 0 { EventKind::Send } else { EventKind::Recv },
+                if i % 2 == 0 {
+                    EventKind::Send
+                } else {
+                    EventKind::Recv
+                },
                 64,
                 0.05,
             ));
@@ -670,9 +917,17 @@ mod tests {
         // 2 processes alternating Send/Recv in lockstep.
         let mut cells = Vec::new();
         for i in 0..8 {
-            let kind = if i % 2 == 0 { EventKind::Send } else { EventKind::Recv };
+            let kind = if i % 2 == 0 {
+                EventKind::Send
+            } else {
+                EventKind::Recv
+            };
             cells.push((i, 0u32, kind, 64, 0.01));
-            let kind2 = if i % 2 == 0 { EventKind::Recv } else { EventKind::Send };
+            let kind2 = if i % 2 == 0 {
+                EventKind::Recv
+            } else {
+                EventKind::Send
+            };
             cells.push((i, 1u32, kind2, 64, 0.01));
         }
         let analysis = extract_phases(&lt_of(2, &cells), &SimilarityConfig::default());
@@ -683,7 +938,10 @@ mod tests {
 
     #[test]
     fn empty_trace_has_no_phases() {
-        let lt = LogicalTrace { nprocs: 2, ticks: vec![] };
+        let lt = LogicalTrace {
+            nprocs: 2,
+            ticks: vec![],
+        };
         let analysis = extract_phases(&lt, &SimilarityConfig::default());
         assert_eq!(analysis.total_phases(), 0);
         assert_eq!(analysis.aet, 0.0);
@@ -699,9 +957,21 @@ mod tests {
             // Each block: a Send/Recv pair at a size unique to the block,
             // repeated twice so every block closes as its own phase.
             for _ in 0..2 {
-                cells.push((t, 0u32, EventKind::Send, 16 << (rep % 6), 0.01 * (rep + 1) as f64));
+                cells.push((
+                    t,
+                    0u32,
+                    EventKind::Send,
+                    16 << (rep % 6),
+                    0.01 * (rep + 1) as f64,
+                ));
                 t += 1;
-                cells.push((t, 0u32, EventKind::Recv, 16 << (rep % 6), 0.01 * (rep + 1) as f64));
+                cells.push((
+                    t,
+                    0u32,
+                    EventKind::Recv,
+                    16 << (rep % 6),
+                    0.01 * (rep + 1) as f64,
+                ));
                 t += 1;
             }
         }
@@ -716,31 +986,56 @@ mod tests {
     #[test]
     fn parallel_merge_is_byte_identical_to_sequential() {
         let lt = varied_trace();
-        let sequential = {
+        for kernel in [SimilarityKernel::Scalar, SimilarityKernel::Soa] {
+            let sequential = {
+                let cfg = SimilarityConfig {
+                    parallelism: Some(1),
+                    kernel,
+                    ..SimilarityConfig::default()
+                };
+                strip_timing(extract_phases(&lt, &cfg))
+            };
+            assert!(
+                sequential.total_phases() >= PAR_MIN_KNOWN,
+                "trace must grow enough phases to engage the pool, got {}",
+                sequential.total_phases()
+            );
+            for workers in [2usize, 3, 8] {
+                let cfg = SimilarityConfig {
+                    parallelism: Some(workers),
+                    kernel,
+                    ..SimilarityConfig::default()
+                };
+                let parallel = strip_timing(extract_phases(&lt, &cfg));
+                assert_eq!(
+                    sequential, parallel,
+                    "kernel = {kernel:?}, workers = {workers}"
+                );
+                assert_eq!(
+                    serde_json::to_string(&sequential)
+                        .expect("serialize")
+                        .into_bytes(),
+                    serde_json::to_string(&parallel)
+                        .expect("serialize")
+                        .into_bytes(),
+                    "kernel = {kernel:?}, workers = {workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn soa_kernel_matches_scalar_oracle() {
+        let lt = varied_trace();
+        let run = |kernel: SimilarityKernel| {
             let cfg = SimilarityConfig {
                 parallelism: Some(1),
+                kernel,
                 ..SimilarityConfig::default()
             };
             strip_timing(extract_phases(&lt, &cfg))
         };
-        assert!(
-            sequential.total_phases() >= PAR_MIN_KNOWN,
-            "trace must grow enough phases to engage the pool, got {}",
-            sequential.total_phases()
-        );
-        for workers in [2usize, 3, 8] {
-            let cfg = SimilarityConfig {
-                parallelism: Some(workers),
-                ..SimilarityConfig::default()
-            };
-            let parallel = strip_timing(extract_phases(&lt, &cfg));
-            assert_eq!(sequential, parallel, "workers = {workers}");
-            assert_eq!(
-                serde_json::to_string(&sequential).expect("serialize").into_bytes(),
-                serde_json::to_string(&parallel).expect("serialize").into_bytes(),
-                "workers = {workers}"
-            );
-        }
+        assert_eq!(run(SimilarityKernel::Scalar), run(SimilarityKernel::Soa));
     }
 
     #[test]
@@ -751,5 +1046,25 @@ mod tests {
         assert_eq!(cfg.effective_parallelism(), 1);
         cfg.parallelism = Some(4);
         assert_eq!(cfg.effective_parallelism(), 4);
+    }
+
+    /// Regression: a zero parallelism setting must behave exactly like
+    /// the forced-sequential path — never an unclamped worker count —
+    /// on both kernels and at the extraction level, not just in
+    /// `effective_parallelism`.
+    #[test]
+    fn zero_parallelism_extracts_identically_to_one() {
+        let lt = varied_trace();
+        for kernel in [SimilarityKernel::Scalar, SimilarityKernel::Soa] {
+            let run = |parallelism: Option<usize>| {
+                let cfg = SimilarityConfig {
+                    parallelism,
+                    kernel,
+                    ..SimilarityConfig::default()
+                };
+                strip_timing(extract_phases(&lt, &cfg))
+            };
+            assert_eq!(run(Some(0)), run(Some(1)), "kernel = {kernel:?}");
+        }
     }
 }

@@ -32,8 +32,10 @@
 
 pub mod extract;
 pub mod sig;
+pub mod soa;
 pub mod table;
 
 pub use extract::{extract_phases, Occurrence, Pattern, Phase, PhaseAnalysis};
-pub use sig::{CellSig, SimilarityConfig};
+pub use sig::{CellSig, SimilarityConfig, SimilarityKernel};
+pub use soa::{BandStats, MatchStats, SoaIndex, SoaPattern};
 pub use table::{MeasureWindow, PhaseRow, PhaseTable};

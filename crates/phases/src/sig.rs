@@ -46,6 +46,22 @@ impl CellSig {
     }
 }
 
+/// Which implementation of the similarity criterion the merge loop of
+/// `extract_phases` runs. Both produce byte-identical output — the
+/// scalar walk is retained as the differential oracle the SoA kernel is
+/// tested against (`tests/kernel_equivalence.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum SimilarityKernel {
+    /// The reference cell-by-cell walk over `Vec<Vec<Option<CellSig>>>`
+    /// patterns — slow, obviously correct, kept as the oracle.
+    Scalar,
+    /// Structure-of-arrays columns with banded prefilters and LSH
+    /// bucketing (`crate::soa`) — the production kernel.
+    #[default]
+    Soa,
+}
+
 /// Thresholds of the similarity criterion.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct SimilarityConfig {
@@ -66,6 +82,11 @@ pub struct SimilarityConfig {
     /// deterministic: output is byte-identical for every setting.
     #[serde(default)]
     pub parallelism: Option<usize>,
+    /// Similarity-kernel implementation the merge loop runs. Excluded
+    /// from the signature-store fingerprint (like `parallelism`): both
+    /// kernels produce byte-identical output.
+    #[serde(default)]
+    pub kernel: SimilarityKernel,
 }
 
 impl Default for SimilarityConfig {
@@ -76,6 +97,7 @@ impl Default for SimilarityConfig {
             event_fraction: 0.80,
             compute_floor: 1e-7,
             parallelism: None,
+            kernel: SimilarityKernel::default(),
         }
     }
 }
@@ -89,7 +111,7 @@ impl SimilarityConfig {
             .max(1)
     }
 
-    fn ratio_similar(a: f64, b: f64, threshold: f64, floor: f64) -> bool {
+    pub(crate) fn ratio_similar(a: f64, b: f64, threshold: f64, floor: f64) -> bool {
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
         if hi <= floor {
             return true;
@@ -107,7 +129,7 @@ impl SimilarityConfig {
     /// sub-2^53 range keeps the historical f64 division bit-for-bit; above
     /// it the ratio test runs as an exact u128 cross-multiplication
     /// against the threshold's own binary representation m·2⁻ˢ.
-    fn size_similar(a: u64, b: u64, threshold: f64) -> bool {
+    pub(crate) fn size_similar(a: u64, b: u64, threshold: f64) -> bool {
         if a == b {
             return true;
         }
@@ -167,15 +189,20 @@ impl SimilarityConfig {
         }
     }
 
-    /// Phase-level similarity (steps 5a + 5c): equal tick counts, and the
-    /// fraction of similar event cells reaches `event_fraction`. Patterns
-    /// are `[tick][process]` matrices.
-    pub fn phases_similar(&self, a: &[Vec<Option<CellSig>>], b: &[Vec<Option<CellSig>>]) -> bool {
+    /// `(similar, total)` cell counts behind [`Self::phases_similar`],
+    /// or `None` when the tick counts differ (the hard length gate).
+    /// Exposed so the SoA kernel can be differential-tested against the
+    /// exact counts, not just the boolean verdict.
+    pub fn phase_similarity_score(
+        &self,
+        a: &[Vec<Option<CellSig>>],
+        b: &[Vec<Option<CellSig>>],
+    ) -> Option<(u64, u64)> {
         if a.len() != b.len() {
-            return false;
+            return None;
         }
-        let mut total = 0usize;
-        let mut similar = 0usize;
+        let mut total = 0u64;
+        let mut similar = 0u64;
         for (ra, rb) in a.iter().zip(b) {
             debug_assert_eq!(ra.len(), rb.len());
             for (ca, cb) in ra.iter().zip(rb) {
@@ -188,10 +215,18 @@ impl SimilarityConfig {
                 }
             }
         }
-        if total == 0 {
-            return true; // two all-empty patterns of the same length
+        Some((similar, total))
+    }
+
+    /// Phase-level similarity (steps 5a + 5c): equal tick counts, and the
+    /// fraction of similar event cells reaches `event_fraction`. Patterns
+    /// are `[tick][process]` matrices.
+    pub fn phases_similar(&self, a: &[Vec<Option<CellSig>>], b: &[Vec<Option<CellSig>>]) -> bool {
+        match self.phase_similarity_score(a, b) {
+            None => false,
+            Some((_, 0)) => true, // two all-empty patterns of the same length
+            Some((similar, total)) => similar as f64 / total as f64 >= self.event_fraction,
         }
-        similar as f64 / total as f64 >= self.event_fraction
     }
 }
 

@@ -97,7 +97,13 @@ impl PhaseTable {
         warmup: usize,
         measure_occurrences: usize,
     ) -> PhaseTable {
-        Self::from_analysis_with(analysis, relevance_threshold, warmup, measure_occurrences, true)
+        Self::from_analysis_with(
+            analysis,
+            relevance_threshold,
+            warmup,
+            measure_occurrences,
+            true,
+        )
     }
 
     /// Like [`PhaseTable::from_analysis`], with explicit control over automatic
@@ -135,8 +141,8 @@ impl PhaseTable {
             let ckpt = if measured == 0 {
                 0
             } else {
-                let gap = phase.occurrences[measured].t_start
-                    - phase.occurrences[measured - 1].t_start;
+                let gap =
+                    phase.occurrences[measured].t_start - phase.occurrences[measured - 1].t_start;
                 let span = phase.occurrences[measured].duration();
                 if gap <= 4.0 * span.max(1e-12) {
                     measured - 1
@@ -222,7 +228,11 @@ impl std::fmt::Display for PhaseTable {
         writeln!(f, "# PHASE_TABLE ({} processes)", self.nprocs)?;
         writeln!(f, "# startpoint | endpoint | id | weight")?;
         let render = |counts: Option<&[u64]>| match counts {
-            Some(c) => c.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(" "),
+            Some(c) => c
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(" "),
             None => "-".to_string(),
         };
         for row in &self.rows {
@@ -256,7 +266,11 @@ mod tests {
                 events: vec![LogicalEvent {
                     process: 0,
                     number: number as u64,
-                    kind: if i % 2 == 0 { EventKind::Send } else { EventKind::Recv },
+                    kind: if i % 2 == 0 {
+                        EventKind::Send
+                    } else {
+                        EventKind::Recv
+                    },
                     peer: Some(0),
                     size: 64,
                     involved: 1,
@@ -269,7 +283,10 @@ mod tests {
                 }],
             });
         }
-        extract_phases(&LogicalTrace { nprocs: 1, ticks }, &SimilarityConfig::default())
+        extract_phases(
+            &LogicalTrace { nprocs: 1, ticks },
+            &SimilarityConfig::default(),
+        )
     }
 
     use crate::extract::PhaseAnalysis;
@@ -353,6 +370,127 @@ mod tests {
         assert!(rendered.contains("- | - | 7 | 3"), "{rendered}");
     }
 
+    /// One phase whose occurrence `i` spans `times[i]` and carries the
+    /// per-process counts `[2i] → [2i+1]`, wrapped into an analysis with
+    /// the given AET — hand-built so each placement rule can be pinned
+    /// with exact occurrence timing.
+    fn analysis_of(times: &[(f64, f64)], aet: f64) -> PhaseAnalysis {
+        let occurrences = times
+            .iter()
+            .enumerate()
+            .map(|(i, &(t0, t1))| Occurrence {
+                start_tick: 2 * i,
+                end_tick: 2 * i + 1,
+                t_start: t0,
+                t_end: t1,
+                start_counts: vec![2 * i as u64],
+                end_counts: vec![2 * i as u64 + 1],
+            })
+            .collect::<Vec<_>>();
+        PhaseAnalysis {
+            nprocs: 1,
+            phases: vec![Phase {
+                id: 0,
+                pattern: vec![],
+                weight: occurrences.len() as u64,
+                occurrences,
+            }],
+            aet,
+            analysis_seconds: 0.0,
+            negative_spans: 0,
+        }
+    }
+
+    #[test]
+    fn auto_warmup_scales_with_occurrence_count() {
+        // 80 adjacent occurrences: auto warm-up skips occ_count/8 = 10,
+        // the checkpoint sits one occurrence ahead of the measured one.
+        let times: Vec<(f64, f64)> = (0..80).map(|i| (i as f64, i as f64 + 0.9)).collect();
+        let analysis = analysis_of(&times, 80.0);
+        let table = PhaseTable::from_analysis(&analysis, 0.01, 1, 4);
+        let row = &table.rows[0];
+        assert_eq!(row.start_counts(), Some(&[20u64][..]), "measured occ 10");
+        assert_eq!(row.ckpt_counts, vec![18], "checkpoint at occ 9");
+        assert_eq!(row.windows.len(), 4, "measure slice honors the config cap");
+        // Verbatim warm-up: the same analysis without auto scaling
+        // measures the second occurrence and checkpoints at the first.
+        let verbatim = PhaseTable::from_analysis_with(&analysis, 0.01, 1, 4, false);
+        let row = &verbatim.rows[0];
+        assert_eq!(row.start_counts(), Some(&[2u64][..]));
+        assert_eq!(row.ckpt_counts, vec![0]);
+    }
+
+    #[test]
+    fn checkpoint_moves_onto_sparse_occurrences() {
+        // Two occurrences 100 s apart (spans of 1 s): re-executing the
+        // gap from a checkpoint one occurrence earlier would dominate
+        // the SET, so the checkpoint lands on the measured occurrence.
+        let analysis = analysis_of(&[(0.0, 1.0), (100.0, 101.0)], 102.0);
+        let table = PhaseTable::from_analysis(&analysis, 0.01, 1, 1);
+        let row = &table.rows[0];
+        assert_eq!(row.start_counts(), Some(&[2u64][..]), "measured occ 1");
+        assert_eq!(
+            row.ckpt_counts,
+            vec![2],
+            "sparse gap: checkpoint at the measured occurrence itself"
+        );
+    }
+
+    #[test]
+    fn measure_slice_stops_at_the_span_bound() {
+        // 96 occurrences, adjacent up to index 14, then spaced 1000 s
+        // apart: the slice may take up to min(8, 96/12) = 8 windows but
+        // must stop once the measured span exceeds 24 × the mean
+        // duration — here after 3 windows (indices 12, 13, 14).
+        let times: Vec<(f64, f64)> = (0..96)
+            .map(|i| {
+                let t0 = if i < 15 { i as f64 } else { 1000.0 * i as f64 };
+                (t0, t0 + 0.5)
+            })
+            .collect();
+        let analysis = analysis_of(&times, 1000.0);
+        let table = PhaseTable::from_analysis(&analysis, 0.01, 1, 8);
+        let row = &table.rows[0];
+        assert_eq!(row.start_counts(), Some(&[24u64][..]), "measured occ 12");
+        assert_eq!(row.windows.len(), 3, "span bound cuts the slice short");
+        assert_eq!(
+            row.end_counts(),
+            Some(&[29u64][..]),
+            "last window is occ 14"
+        );
+    }
+
+    #[test]
+    fn weights_account_for_every_deduplicated_occurrence() {
+        // The merge path credits each occurrence to exactly one phase:
+        // weights equal occurrence counts, occurrences are in strictly
+        // increasing trace order, and no window is double-counted.
+        let analysis = iterative_analysis(10);
+        assert_eq!(analysis.total_phases(), 1);
+        for phase in &analysis.phases {
+            assert_eq!(phase.weight as usize, phase.occurrences.len());
+            for pair in phase.occurrences.windows(2) {
+                assert!(
+                    pair[0].t_end <= pair[1].t_start,
+                    "occurrences must not overlap: {pair:?}"
+                );
+                assert!(
+                    pair[0].start_counts < pair[1].start_counts,
+                    "startpoint counts must advance monotonically"
+                );
+            }
+        }
+        // The table row carries the full deduplicated weight, and the
+        // weighted base prediction reconstructs the analysis AET.
+        let table = PhaseTable::from_analysis(&analysis, 0.01, 1, 1);
+        assert_eq!(table.rows[0].weight, 10);
+        let reconstructed = analysis.reconstructed_aet();
+        assert!(
+            (table.base_prediction() - reconstructed).abs() <= 1e-9 * reconstructed.abs(),
+            "Σ weight × PhaseET must equal the analysis reconstruction"
+        );
+    }
+
     #[test]
     fn irrelevant_phases_are_dropped() {
         // Hand-build an analysis with one dominant and one negligible phase.
@@ -367,8 +505,18 @@ mod tests {
         let analysis = PhaseAnalysis {
             nprocs: 1,
             phases: vec![
-                Phase { id: 0, pattern: vec![], weight: 100, occurrences: vec![occ(0.0, 1.0)] },
-                Phase { id: 1, pattern: vec![], weight: 1, occurrences: vec![occ(0.0, 1e-4)] },
+                Phase {
+                    id: 0,
+                    pattern: vec![],
+                    weight: 100,
+                    occurrences: vec![occ(0.0, 1.0)],
+                },
+                Phase {
+                    id: 1,
+                    pattern: vec![],
+                    weight: 1,
+                    occurrences: vec![occ(0.0, 1e-4)],
+                },
             ],
             aet: 100.0,
             analysis_seconds: 0.0,

@@ -43,8 +43,10 @@ pub struct StoreKey {
 
 /// Hash of the analysis/construction configuration: every threshold
 /// that can change a produced signature or prediction, over exact f64
-/// bit patterns. `SimilarityConfig::parallelism` is excluded — it is an
-/// execution knob with a byte-identical-output guarantee.
+/// bit patterns. `SimilarityConfig::parallelism` and
+/// `SimilarityConfig::kernel` are excluded — both are execution knobs
+/// with a byte-identical-output guarantee (the scalar oracle and the
+/// SoA kernel produce the same artifact, `tests/kernel_equivalence.rs`).
 pub fn config_fingerprint(
     similarity: &SimilarityConfig,
     signature: &SignatureConfig,

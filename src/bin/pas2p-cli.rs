@@ -81,7 +81,9 @@ serve: long-running prediction service over newline-delimited JSON on
                    matches the current configuration before serving
 bench-report: run the full application suite through the batch driver and
   derive a schema-versioned performance record (TFAT, events/sec,
-  jobs/sec, check-engine diagnostics/sec sequential vs parallel);
+  jobs/sec, check-engine diagnostics/sec sequential vs parallel, and
+  similarity-kernel timing: scalar oracle vs SoA extraction with the
+  band/LSH skip counters);
   --record FILE appends it to a BENCH_*.json trajectory file, otherwise
   the record prints to stdout (--nprocs defaults to 8, --base to A)
 check: runs the pas2p-check invariant rules over every pipeline artifact;
@@ -96,6 +98,10 @@ check: runs the pas2p-check invariant rules over every pipeline artifact;
   --baseline FILE     suppress findings listed in FILE (exit code reflects
                       the remaining findings only)
   --write-baseline F  capture every current finding into F and exit 0
+analysis (any command):
+  --kernel K          similarity kernel: soa (default: columnar layout with
+                      band prefilters and LSH bucketing) or scalar (the
+                      reference walk); both produce byte-identical output
 observability (any command):
   --log-level LEVEL   off|error|warn|info|debug|trace (default warn; env PAS2P_LOG)
   --log-file FILE     append JSON-lines log records to FILE (env PAS2P_LOG_FILE)
@@ -250,7 +256,15 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
     if trace_out.is_some() {
         pas2p_obs::set_tracing(true);
     }
-    let pas2p = Pas2p::default();
+    let mut pas2p = Pas2p::default();
+    if let Some(kernel) = flags.get("kernel") {
+        pas2p.similarity.kernel = match kernel.as_str() {
+            "soa" => SimilarityKernel::Soa,
+            "scalar" => SimilarityKernel::Scalar,
+            other => return Err(format!("unknown --kernel '{other}' (soa|scalar)").into()),
+        };
+    }
+    let pas2p = pas2p;
 
     let result: Result<ExitCode, CliError> = match cmd.as_str() {
         "list" => {
@@ -854,6 +868,133 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
                     stat.speedup
                 );
                 record.check = Some(stat);
+            }
+            // Similarity-kernel timing: the same logical trace extracted
+            // with the scalar reference walk and with the SoA kernel,
+            // sequentially and over a worker pool. The outputs are
+            // byte-identical by construction (tests/kernel_equivalence.rs);
+            // the record tracks the wall clock and the prefilter skip
+            // counters.
+            {
+                // Catalog apps at suite scale stay under ~12 known
+                // phases — far below the regime where the candidate-vs-
+                // known comparisons dominate TFAT — so the kernel is
+                // timed over a phase-diverse ring workload where the
+                // known-phase list actually grows. Every variant has the
+                // same communication *structure* (the scalar walk's O(1)
+                // length check never helps) but different sizes and
+                // compute, so the scalar path must score the full grid
+                // against known phases while the band prefilter rejects
+                // them from the precomputed stats.
+                const KERNEL_APP: &str = "varied-ring";
+                const VARIANTS: usize = 144;
+                const REPS: usize = 720;
+                let logical = {
+                    let mut machine = base.clone();
+                    machine.jitter = pas2p_machine::JitterModel::none();
+                    let collector = std::sync::Arc::new(TraceCollector::new(
+                        nprocs,
+                        KERNEL_APP,
+                        InstrumentationModel::free(),
+                    ));
+                    let sim = SimConfig::new(machine, nprocs, MappingPolicy::Block);
+                    let col = collector.clone();
+                    run_app(&sim, move |ctx| {
+                        let size = ctx.size();
+                        let rank = ctx.rank();
+                        let mut t = Traced::new(ctx, &col);
+                        let next = (rank + 1) % size;
+                        let prev = (rank + size - 1) % size;
+                        let payload = vec![0u8; (16 << 12) + 16 * 16];
+                        for rep in 0..REPS {
+                            let v = rep % VARIANTS;
+                            let bytes = 16usize << (v % 12);
+                            // Distinct per-send sizes keep the repetition
+                            // scan from cutting the window mid-rep (one
+                            // window per variant body); the per-send
+                            // compute block carries the variant identity
+                            // on every cell, so distinct variants stay
+                            // distinct phases under the event fraction.
+                            for s in 0..16u32 {
+                                t.compute(Work::flops(1e4 * 1.2f64.powi(v as i32)));
+                                t.send(next, s, &payload[..bytes + 16 * s as usize]);
+                                t.recv(Some(prev), Some(s));
+                            }
+                            t.allreduce_f64(&[1.0], ReduceOp::Sum);
+                        }
+                        t.finish();
+                    });
+                    let trace = std::sync::Arc::into_inner(collector)
+                        .expect("sim ranks joined")
+                        .into_trace();
+                    pas2p_order(&trace)
+                };
+                let kernel_workers = record.batch_workers.max(2);
+                let cfg_of = |kernel, parallelism| SimilarityConfig {
+                    kernel,
+                    parallelism,
+                    ..pas2p.similarity
+                };
+                let timed = |cfg: &SimilarityConfig| {
+                    let t = std::time::Instant::now();
+                    let analysis = extract_phases(&logical, cfg);
+                    (t.elapsed().as_secs_f64(), analysis)
+                };
+                let (scalar_seconds, scalar) = timed(&cfg_of(SimilarityKernel::Scalar, Some(1)));
+                // The skip counters come from the metrics registry:
+                // enable it around the sequential SoA run and diff the
+                // counter snapshots, restoring the prior state after.
+                let was_enabled = pas2p_obs::enabled();
+                pas2p_obs::set_enabled(true);
+                let before = pas2p_obs::global().snapshot().counters;
+                let (soa_seconds, soa) = timed(&cfg_of(SimilarityKernel::Soa, Some(1)));
+                let after = pas2p_obs::global().snapshot().counters;
+                pas2p_obs::set_enabled(was_enabled);
+                let delta = |key: &str| {
+                    after.get(key).copied().unwrap_or(0) - before.get(key).copied().unwrap_or(0)
+                };
+                let (soa_parallel_seconds, soa_par) =
+                    timed(&cfg_of(SimilarityKernel::Soa, Some(kernel_workers)));
+                debug_assert_eq!(
+                    scalar.phases, soa.phases,
+                    "kernels must produce identical phases"
+                );
+                debug_assert_eq!(
+                    scalar.phases, soa_par.phases,
+                    "the parallel SoA merge must produce identical phases"
+                );
+                let speedup = |den: f64| if den > 0.0 { scalar_seconds / den } else { 0.0 };
+                let stat = pas2p::KernelBenchStat {
+                    app: KERNEL_APP.to_string(),
+                    workers: kernel_workers,
+                    phases: scalar.total_phases() as u64,
+                    scalar_seconds,
+                    soa_seconds,
+                    soa_parallel_seconds,
+                    soa_speedup: speedup(soa_seconds),
+                    total_speedup: speedup(soa_parallel_seconds),
+                    band_rejects: delta("extract.band.rejects"),
+                    lsh_skipped: delta("extract.lsh.skipped"),
+                    soa_compares: delta("extract.soa.compares"),
+                };
+                eprintln!(
+                    "kernel: {} phases over {} in {:.4}s scalar, {:.4}s soa \
+                     ({:.2}x), {:.4}s soa at {} workers ({:.2}x); \
+                     prefilters skipped {} (band {}, lsh {}), {} full compares",
+                    stat.phases,
+                    stat.app,
+                    stat.scalar_seconds,
+                    stat.soa_seconds,
+                    stat.soa_speedup,
+                    stat.soa_parallel_seconds,
+                    stat.workers,
+                    stat.total_speedup,
+                    stat.band_rejects + stat.lsh_skipped,
+                    stat.band_rejects,
+                    stat.lsh_skipped,
+                    stat.soa_compares
+                );
+                record.kernel = Some(stat);
             }
             match flags.get("record") {
                 Some(path) => {

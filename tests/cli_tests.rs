@@ -62,6 +62,47 @@ fn analyze_emits_analysis_json() {
 }
 
 #[test]
+fn kernel_flag_selects_the_kernel_and_rejects_garbage() {
+    // Both kernels must produce the same phase table (the differential
+    // suite pins byte-identity; here we pin the flag plumbing).
+    let analyze = |kernel: &str| {
+        let out = cli()
+            .args([
+                "analyze",
+                "--app",
+                "masterworker",
+                "--nprocs",
+                "4",
+                "--base",
+                "A",
+                "--kernel",
+                kernel,
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "--kernel {kernel}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let analysis: pas2p::Analysis =
+            serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).unwrap();
+        analysis.table
+    };
+    assert_eq!(analyze("scalar"), analyze("soa"));
+
+    let out = cli()
+        .args([
+            "analyze", "--app", "cg", "--nprocs", "4", "--base", "A", "--kernel", "simd",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown --kernel 'simd'"), "{stderr}");
+}
+
+#[test]
 fn help_and_version_exit_zero() {
     let out = cli().arg("--help").output().unwrap();
     assert!(out.status.success());

@@ -1,0 +1,262 @@
+//! Property suite for the SoA similarity kernel: over arbitrary
+//! rectangular patterns and similarity configurations (including
+//! degenerate thresholds), the SoA comparison must agree with the
+//! scalar walk cell for cell, the band prefilter must never reject a
+//! true match, and the LSH buckets must never split a matchable pair.
+//! A final property pins whole-trace extraction: scalar and SoA kernels
+//! produce identical `PhaseAnalysis` on randomly generated logical
+//! traces, sequentially and on a worker pool.
+//!
+//! Patterns are generated rectangular (every row the same width) —
+//! the only shape extraction produces (`width == nprocs`), and the
+//! contract `SoaPattern` documents.
+
+use proptest::prelude::*;
+
+use pas2p_model::{LogicalEvent, LogicalTrace, Tick};
+use pas2p_phases::{
+    extract_phases, CellSig, PhaseAnalysis, SimilarityConfig, SimilarityKernel, SoaIndex,
+    SoaPattern,
+};
+use pas2p_trace::{CollClass, EventKind};
+use std::sync::Arc;
+
+type Pattern = Vec<Vec<Option<CellSig>>>;
+
+fn kind_strategy() -> impl Strategy<Value = EventKind> {
+    prop_oneof![
+        Just(EventKind::Send),
+        Just(EventKind::Recv),
+        Just(EventKind::Coll(CollClass::Barrier)),
+        Just(EventKind::Coll(CollClass::Allreduce)),
+        Just(EventKind::Coll(CollClass::Alltoall)),
+    ]
+}
+
+/// One pattern cell: absent, or an event drawn from a pool of sizes and
+/// compute times dense enough that similar, nearly-similar and wildly
+/// dissimilar pairs all occur.
+fn cell_strategy() -> impl Strategy<Value = Option<CellSig>> {
+    let present = (
+        kind_strategy(),
+        prop_oneof![Just(None), (0i64..4).prop_map(Some)],
+        prop_oneof![
+            Just(0u64),
+            Just(8u64),
+            Just(64u64),
+            Just(100u64),
+            Just(1u64 << 40),
+            1u64..4096,
+        ],
+        prop_oneof![
+            Just(0.0f64),
+            Just(1e-9f64),
+            Just(0.01f64),
+            Just(1.0f64),
+            0.0f64..2.0,
+        ],
+    )
+        .prop_map(|(kind, peer_offset, size, compute_before)| {
+            Some(CellSig {
+                kind,
+                peer_offset,
+                size,
+                compute_before,
+            })
+        });
+    prop_oneof![1 => Just(None), 3 => present]
+}
+
+/// A rectangular pattern: 1..=max_ticks rows of exactly `width` cells.
+fn pattern_strategy(width: usize, max_ticks: usize) -> impl Strategy<Value = Pattern> {
+    prop::collection::vec(
+        prop::collection::vec(cell_strategy(), width..=width),
+        1..=max_ticks,
+    )
+}
+
+/// Two patterns sharing one width, so the scalar walk and the SoA
+/// comparison see the same cell grid.
+fn pattern_pair() -> impl Strategy<Value = (Pattern, Pattern)> {
+    (1usize..4).prop_flat_map(|w| (pattern_strategy(w, 4), pattern_strategy(w, 4)))
+}
+
+/// Similarity configurations including the paper defaults and the
+/// degenerate corners (zero thresholds, exact-match thresholds, an
+/// unsatisfiable event fraction, a large noise floor).
+fn config_strategy() -> impl Strategy<Value = SimilarityConfig> {
+    (
+        prop_oneof![Just(0.85f64), Just(1.0f64), Just(0.5f64), 0.0f64..1.0],
+        prop_oneof![Just(0.85f64), Just(1.0f64), Just(0.0f64), 0.0f64..1.0],
+        prop_oneof![
+            Just(0.80f64),
+            Just(1.0f64),
+            Just(0.0f64),
+            Just(1.5f64),
+            0.0f64..1.0
+        ],
+        prop_oneof![Just(1e-7f64), Just(0.0f64), Just(0.5f64)],
+    )
+        .prop_map(
+            |(compute_ratio, size_ratio, event_fraction, compute_floor)| SimilarityConfig {
+                compute_ratio,
+                size_ratio,
+                event_fraction,
+                compute_floor,
+                ..SimilarityConfig::default()
+            },
+        )
+}
+
+/// Build a logical trace from (tick, process, kind, size, compute)
+/// tuples — the same constructor the extraction unit tests use.
+fn lt_of(nprocs: u32, cells: &[(usize, u32, EventKind, u64, f64)]) -> LogicalTrace {
+    let max_tick = cells.iter().map(|c| c.0).max().unwrap_or(0);
+    let mut ticks = vec![Tick::default(); max_tick + 1];
+    let mut numbers = vec![0u64; nprocs as usize];
+    let mut clock = 0.0;
+    for &(t, p, kind, size, compute) in cells {
+        clock += compute + 0.001;
+        ticks[t].events.push(LogicalEvent {
+            process: p,
+            number: numbers[p as usize],
+            kind,
+            peer: Some((p + 1) % nprocs),
+            size,
+            involved: 1,
+            msg_id: 0,
+            comm_id: 0,
+            compute_before: compute,
+            duration: 0.001,
+            t_post: clock - 0.001,
+            t_complete: clock,
+        });
+        numbers[p as usize] += 1;
+    }
+    for t in &mut ticks {
+        // Restore the logical-trace invariant: at most one event per
+        // (tick, process), sorted by process.
+        t.events.sort_by_key(|e| e.process);
+        t.events.dedup_by_key(|e| e.process);
+    }
+    LogicalTrace { nprocs, ticks }
+}
+
+fn strip_timing(mut analysis: PhaseAnalysis) -> PhaseAnalysis {
+    analysis.analysis_seconds = 0.0;
+    analysis
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SoA similarity == scalar similarity: the boolean verdict and the
+    /// exact (similar, total) score.
+    #[test]
+    fn soa_similarity_equals_scalar(
+        cfg in config_strategy(),
+        (a, b) in pattern_pair(),
+    ) {
+        let sa = SoaPattern::from_pattern(&a);
+        let sb = SoaPattern::from_pattern(&b);
+        prop_assert_eq!(
+            cfg.phases_similar(&a, &b),
+            cfg.soa_phases_similar(&sa, &sb),
+            "verdict diverged"
+        );
+        prop_assert_eq!(
+            cfg.phase_similarity_score(&a, &b),
+            cfg.soa_similarity_score(&sa, &sb),
+            "score diverged"
+        );
+    }
+
+    /// The band prefilter is a necessary condition: it never rejects a
+    /// pair the full comparison would match, in either orientation.
+    #[test]
+    fn banding_never_rejects_a_true_match(
+        cfg in config_strategy(),
+        (a, b) in pattern_pair(),
+    ) {
+        let sa = SoaPattern::from_pattern(&a);
+        let sb = SoaPattern::from_pattern(&b);
+        if cfg.soa_phases_similar(&sa, &sb) {
+            prop_assert!(cfg.band_admits(&sa, &sb), "band rejected a true match");
+            prop_assert!(cfg.band_admits(&sb, &sa), "band is orientation-sensitive");
+        }
+    }
+
+    /// LSH buckets never split a matchable pair: the sketch keys exactly
+    /// the tick count (the only similarity-invariant feature), so two
+    /// patterns share a bucket iff they have equal length — and in
+    /// particular identical patterns always share one.
+    #[test]
+    fn lsh_buckets_never_split_matchable_patterns(
+        cfg in config_strategy(),
+        (a, b) in pattern_pair(),
+    ) {
+        let sa = SoaPattern::from_pattern(&a);
+        let sb = SoaPattern::from_pattern(&b);
+        prop_assert_eq!(sa.sketch() == sb.sketch(), a.len() == b.len());
+        if cfg.soa_phases_similar(&sa, &sb) {
+            prop_assert_eq!(sa.sketch(), sb.sketch(), "bucket split a matchable pair");
+        }
+        prop_assert_eq!(
+            sa.sketch(),
+            SoaPattern::from_pattern(&a).sketch(),
+            "identical patterns must share a bucket"
+        );
+    }
+
+    /// The bucketed index returns the same first match as the sequential
+    /// scalar walk over the known list.
+    #[test]
+    fn index_first_match_equals_sequential_scan(
+        cfg in config_strategy(),
+        (known, candidate) in (1usize..3).prop_flat_map(|w| (
+            prop::collection::vec(pattern_strategy(w, 3), 0..8),
+            pattern_strategy(w, 3),
+        )),
+    ) {
+        let scalar_hit = known.iter().position(|k| cfg.phases_similar(k, &candidate));
+        let mut index = SoaIndex::new();
+        for k in &known {
+            index.push(Arc::new(SoaPattern::from_pattern(k)));
+        }
+        let (soa_hit, stats) = index.first_match(&cfg, &SoaPattern::from_pattern(&candidate));
+        prop_assert_eq!(scalar_hit, soa_hit);
+        prop_assert!(
+            stats.compares + stats.band_rejects + stats.lsh_skipped <= known.len() as u64,
+            "every known phase is compared, band-rejected, or bucket-skipped at most once"
+        );
+    }
+
+    /// Whole-trace extraction is kernel- and parallelism-invariant on
+    /// randomly generated logical traces.
+    #[test]
+    fn extraction_is_kernel_invariant_on_random_traces(
+        nprocs in 1u32..4,
+        cells in prop::collection::vec(
+            (0usize..12, 0u32..4, kind_strategy(), 1u64..512, 0.0f64..0.05),
+            1..40,
+        ),
+    ) {
+        let cells: Vec<(usize, u32, EventKind, u64, f64)> = cells
+            .into_iter()
+            .map(|(t, p, k, s, c)| (t, p % nprocs, k, s, c))
+            .collect();
+        let lt = lt_of(nprocs, &cells);
+        let run = |kernel: SimilarityKernel, parallelism: Option<usize>| {
+            let cfg = SimilarityConfig {
+                kernel,
+                parallelism,
+                ..SimilarityConfig::default()
+            };
+            strip_timing(extract_phases(&lt, &cfg))
+        };
+        let oracle = run(SimilarityKernel::Scalar, Some(1));
+        prop_assert_eq!(&oracle, &run(SimilarityKernel::Soa, Some(1)));
+        prop_assert_eq!(&oracle, &run(SimilarityKernel::Soa, Some(4)));
+        prop_assert_eq!(&oracle, &run(SimilarityKernel::Scalar, Some(4)));
+    }
+}
