@@ -28,7 +28,7 @@ use pas2p_trace::{Confidence, IngestReport};
 use serde::Serialize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One unit of batch work: analyze `app` on `base` under `policy`.
@@ -390,43 +390,22 @@ fn run_job(pas2p: &Pas2p, job: BatchJob, opts: &BatchOptions) -> (String, BatchS
         let status = classify(&outcome);
         return (app_name, status, outcome);
     };
-    let (tx, rx) = mpsc::channel();
     let pas2p = *pas2p;
     let opts = *opts;
-    let token = crate::cancel::CancelToken::new();
-    let runner_token = token.clone();
-    // Flow arrow from the claiming worker to the detached deadline
-    // runner, so the timeline shows where the job actually executed.
-    let flow = pas2p_obs::flow_start("host.batch", "deadline handoff", None);
-    std::thread::spawn(move || {
-        pas2p_obs::flow_end("host.batch", "deadline handoff", flow);
-        let outcome =
-            crate::cancel::with_cancel(&runner_token, || attempt_loop(&pas2p, &job, &opts));
-        if runner_token.is_cancelled() {
-            // Abandoned: the report is sealed without us. Discard the
-            // partial timeline this thread buffered — the exit-time
-            // drain would otherwise publish it into a later take().
-            pas2p_obs::events::discard_local();
-            return;
-        }
-        // Hand buffered events over before signalling completion: the
-        // waiting worker resumes the moment the send lands, and this
-        // detached thread's exit-time drain would race any take() after
-        // that.
-        pas2p_obs::events::flush();
-        let _ = tx.send(outcome);
+    // The shared abandonable runner owns the detached thread, the
+    // cancel token, and the events flush/discard discipline; expiry
+    // cancels the runner at its next stage boundary instead of letting
+    // it mutate counters and timelines after this report line is
+    // sealed.
+    let outcome = crate::cancel::run_abandonable("host.batch", deadline, move || {
+        attempt_loop(&pas2p, &job, &opts)
     });
-    match rx.recv_timeout(deadline) {
-        Ok(outcome) => {
+    match outcome {
+        Some(outcome) => {
             let status = classify(&outcome);
             (app_name, status, outcome)
         }
-        Err(_) => {
-            // Tell the runner to stop at its next stage boundary (or
-            // retry decision) instead of running to completion and
-            // mutating counters, stage profiles and timelines after
-            // this report line is sealed.
-            token.cancel();
+        None => {
             if pas2p_obs::tracing_enabled() {
                 pas2p_obs::instant(
                     "host.batch",

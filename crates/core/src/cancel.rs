@@ -78,6 +78,57 @@ pub(crate) fn checkpoint() {
     }
 }
 
+/// Run `f` on a detached thread under a fresh [`CancelToken`] and wait
+/// at most `deadline` for its result. On expiry the token is cancelled
+/// and `None` returned: the runner observes the token at its next
+/// stage boundary (or through [`cancelled`] probes) and unwinds instead
+/// of running to completion against a sealed report.
+///
+/// This is the one deadline mechanism in the crate — the batch driver
+/// uses it per job, the prediction service per request — so the
+/// abandonment semantics (obs events of an abandoned run are discarded,
+/// a finished run's events are flushed before the result is handed
+/// over) cannot drift between the two.
+///
+/// `category` names the obs flow arrow drawn from the waiting thread to
+/// the runner (e.g. `"host.batch"`, `"host.serve"`).
+pub fn run_abandonable<T: Send + 'static>(
+    category: &'static str,
+    deadline: std::time::Duration,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> Option<T> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let token = CancelToken::new();
+    let runner_token = token.clone();
+    // Flow arrow from the waiting thread to the detached runner, so the
+    // timeline shows where the work actually executed.
+    let flow = pas2p_obs::flow_start(category, "deadline handoff", None);
+    std::thread::spawn(move || {
+        pas2p_obs::flow_end(category, "deadline handoff", flow);
+        let out = with_cancel(&runner_token, f);
+        if runner_token.is_cancelled() {
+            // Abandoned: the caller already gave up. Discard the partial
+            // timeline this thread buffered — the exit-time drain would
+            // otherwise publish it into a later take().
+            pas2p_obs::events::discard_local();
+            return;
+        }
+        // Hand buffered events over before signalling completion: the
+        // waiting thread resumes the moment the send lands, and this
+        // detached thread's exit-time drain would race any take() after
+        // that.
+        pas2p_obs::events::flush();
+        let _ = tx.send(out);
+    });
+    match rx.recv_timeout(deadline) {
+        Ok(out) => Some(out),
+        Err(_) => {
+            token.cancel();
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +160,44 @@ mod tests {
         assert_eq!(payload.downcast_ref::<&str>(), Some(&CANCELLED));
         // The token is uninstalled again after the unwind.
         assert!(!cancelled());
+    }
+
+    #[test]
+    fn run_abandonable_returns_a_finished_result() {
+        let out = super::run_abandonable("host.test", std::time::Duration::from_secs(5), || 41 + 1);
+        assert_eq!(out, Some(42));
+    }
+
+    #[test]
+    fn run_abandonable_cancels_an_overrunning_runner() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let observed_cancel = Arc::new(AtomicBool::new(false));
+        let probe = Arc::clone(&observed_cancel);
+        let out = super::run_abandonable(
+            "host.test",
+            std::time::Duration::from_millis(20),
+            move || {
+                // Simulate a stage loop that polls the installed token.
+                for _ in 0..500 {
+                    if cancelled() {
+                        probe.store(true, Ordering::SeqCst);
+                        return 0;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                1
+            },
+        );
+        assert_eq!(out, None, "deadline expiry abandons the runner");
+        // The runner keeps going briefly; give it time to see the token.
+        for _ in 0..200 {
+            if observed_cancel.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        panic!("runner never observed the cancelled token");
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod benchrec;
 pub mod cancel;
 pub mod experiment;
 pub mod pipeline;
+pub mod server;
 pub mod service;
 pub mod timeline;
 pub mod workload;
@@ -50,11 +51,13 @@ pub use benchrec::{
     append_record, bench_record, BenchAppStat, BenchRecord, CheckBenchStat, KernelBenchStat,
     BENCH_SCHEMA_VERSION,
 };
-pub use cancel::{cancelled, with_cancel, CancelToken};
+pub use cancel::{cancelled, run_abandonable, with_cancel, CancelToken};
 pub use pipeline::{Analysis, AnalysisError, Pas2p};
+#[cfg(unix)]
+pub use server::{serve_unix_with, ServeOptions};
 pub use service::{
     canonicalize_prediction, AppResolver, PredictOutcome, PredictionService, Request, Response,
-    SubmitOutcome,
+    ServeStats, SubmitOutcome,
 };
 pub use timeline::{compose_timeline, validate_chrome_json, TimelineStats};
 

@@ -19,38 +19,66 @@
 //! {"op":"submit","app":"cg","nprocs":8,"base":"A"}
 //! {"op":"predict","app":"cg","nprocs":8,"base":"A","target":"B"}
 //! {"op":"batch","apps":["cg","lu"],"base":"A","targets":["B","C"],"workers":2}
+//! {"op":"ping"}
+//! {"op":"health"}
 //! {"op":"stats"}
 //! {"op":"shutdown"}
 //! ```
 //!
 //! Responses carry `ok`, the echoed `op`, and either `result` or
-//! `error`. The batch endpoint fans missing analyses out through the
+//! `error` plus a machine-readable `code` (`invalid`, `busy`,
+//! `timeout`, `panic`, `error`) — every failure is classified, never
+//! silent. The batch endpoint fans missing analyses out through the
 //! hardened [`run_batch_with`] driver (panic isolation, deadlines,
 //! retries), then serves every (app, target) prediction through the
 //! same cache path as single requests.
 //!
+//! # Hardening
+//!
+//! The service is safe to share across server workers: all methods
+//! take `&self`, the store sits behind a mutex that is held only for
+//! lookups and publishes (never during Stage-A/Stage-B compute), and a
+//! single-flight set collapses concurrent Stage-A work for the same
+//! signature into one computation. `submit`/`predict` honor an
+//! optional per-request deadline through the same
+//! [`crate::cancel::run_abandonable`] machinery batch jobs use —
+//! an expired request answers `code:"timeout"` while the abandoned
+//! runner unwinds at its next stage boundary. `ping` answers without
+//! touching any lock; `health` reports queue/in-flight/shed state from
+//! atomics so it stays responsive even while every worker is wedged on
+//! a slow disk. The concurrent unix-socket front end lives in
+//! [`crate::server`].
+//!
 //! Observability: a `serve.requests` counter, per-request stage
 //! profiles (`serve.submit` / `serve.predict` / `serve.batch` /
-//! `serve.stats`), and the store's `store.hit` / `store.miss` /
-//! `store.evict` counters.
+//! `serve.stats`), `serve.shed` / `serve.timeout` counters with
+//! `serve.inflight` / `serve.queue` gauges from the server front end,
+//! and the store's `store.hit` / `store.miss` / `store.evict` counters.
 
 use crate::batch::{run_batch_with, BatchJob, BatchOptions};
 use crate::pipeline::{Analysis, Pas2p};
+use parking_lot::{Condvar, Mutex};
 use pas2p_machine::{preset_by_name, MachineModel, MappingPolicy};
 use pas2p_signature::{run_traced, MpiApp, Prediction};
 use pas2p_store::{
     config_fingerprint, prediction_key, signature_alias, signature_key, ArtifactKind, IndexEntry,
-    Sidecar, SignatureStore, StoreKey, StoredSignature, STORE_FORMAT_VERSION,
+    Sidecar, SignatureStore, StoreKey, StoreReport, StoredSignature, STORE_FORMAT_VERSION,
 };
 use serde::Serialize;
 use serde_json::json;
+use std::collections::HashSet;
 use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Resolves an application name + process count to a runnable app. The
 /// catalog lives in `pas2p-apps`, which sits above this crate in the
 /// dependency graph, so the caller injects the lookup (the CLI passes
-/// `pas2p_apps::by_name`).
-pub type AppResolver = Box<dyn Fn(&str, u32) -> Option<Box<dyn MpiApp>> + Send>;
+/// `pas2p_apps::by_name`). `Sync` because server workers resolve
+/// concurrently through a shared service.
+pub type AppResolver = Box<dyn Fn(&str, u32) -> Option<Box<dyn MpiApp>> + Send + Sync>;
 
 /// One service request, as decoded from a protocol line.
 #[derive(Debug)]
@@ -95,6 +123,12 @@ pub enum Request {
         /// Retries per failing job.
         retries: Option<u32>,
     },
+    /// Liveness probe: answers immediately, touching no lock.
+    Ping,
+    /// Serving-state probe: queue, in-flight, shed/timeout counters and
+    /// store entry count, all read from atomics (lock-free, so health
+    /// stays answerable while workers are wedged).
+    Health,
     /// Service and store statistics.
     Stats,
     /// Stop the serve loop after responding.
@@ -175,6 +209,8 @@ impl Request {
                     retries: uint_field("retries")?.map(|n| n.min(u64::from(u32::MAX)) as u32),
                 })
             }
+            "ping" => Ok(Request::Ping),
+            "health" => Ok(Request::Health),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op '{other}'")),
@@ -189,6 +225,11 @@ pub struct Response {
     pub ok: bool,
     /// The request's operation (or `"invalid"`).
     pub op: &'static str,
+    /// Machine-readable failure class when `ok` is false: `invalid`
+    /// (malformed request), `busy` (load shed), `timeout` (deadline
+    /// expired), `panic` (isolated worker panic) or `error` (everything
+    /// else). Clients dispatch on this; `error` is for humans.
+    pub code: Option<&'static str>,
     /// Failure description when `ok` is false.
     pub error: Option<String>,
     /// Operation result when `ok` is true.
@@ -200,27 +241,36 @@ impl Response {
         Response {
             ok: true,
             op,
+            code: None,
             error: None,
             result: Some(result),
         }
     }
 
     fn failure(op: &'static str, error: String) -> Response {
+        Response::failure_code(op, "error", error)
+    }
+
+    pub(crate) fn failure_code(op: &'static str, code: &'static str, error: String) -> Response {
         Response {
             ok: false,
             op,
+            code: Some(code),
             error: Some(error),
             result: None,
         }
     }
 
-    /// The response as a JSON value; `error`/`result` are omitted when
-    /// absent, not emitted as `null`.
+    /// The response as a JSON value; `code`/`error`/`result` are
+    /// omitted when absent, not emitted as `null`.
     pub fn to_value(&self) -> serde_json::Value {
         let mut v = json!({
             "ok": self.ok,
             "op": self.op,
         });
+        if let Some(code) = self.code {
+            v["code"] = json!(code);
+        }
         if let Some(error) = &self.error {
             v["error"] = json!(error.as_str());
         }
@@ -279,41 +329,170 @@ pub fn canonicalize_prediction(prediction: &mut Prediction) {
     prediction.metrics = None;
 }
 
-/// The prediction service: a [`Pas2p`] pipeline in front of a
-/// [`SignatureStore`].
-pub struct PredictionService {
+/// Live serving counters, all atomic: `health` reads them without
+/// taking any lock, so it stays answerable while every worker is wedged
+/// behind a slow store. The server front end maintains the queue,
+/// connection and capacity fields; the request path maintains the rest.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Requests decoded (including invalid ones).
+    pub(crate) requests: AtomicU64,
+    /// Requests refused with `code:"busy"` because the queue was full.
+    pub(crate) shed: AtomicU64,
+    /// Requests refused with `code:"timeout"` past their deadline.
+    pub(crate) timeouts: AtomicU64,
+    /// Requests currently executing on a worker.
+    pub(crate) inflight: AtomicU64,
+    /// Requests queued, waiting for a worker.
+    pub(crate) queue_depth: AtomicU64,
+    /// Connections currently open.
+    pub(crate) connections: AtomicU64,
+    /// Store entries (mirrored after every publish so health never
+    /// takes the store lock).
+    pub(crate) entries: AtomicU64,
+    /// Whether new connections/requests are being accepted.
+    pub(crate) accepting: AtomicBool,
+    /// Worker threads serving the queue (0 for the inline stdin loop).
+    pub(crate) workers: AtomicU64,
+    /// Bound of the in-flight request queue (0 for the stdin loop).
+    pub(crate) queue_capacity: AtomicU64,
+}
+
+impl ServeStats {
+    /// Requests shed with `code:"busy"` so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::SeqCst)
+    }
+
+    /// Requests expired with `code:"timeout"` so far.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::SeqCst)
+    }
+}
+
+/// The shared interior of a [`PredictionService`]: everything server
+/// workers touch concurrently. The store mutex is held for lookups and
+/// publishes only — Stage-A analysis and Stage-B execution run outside
+/// it — and `pending` + its condvar collapse concurrent Stage-A work on
+/// the same signature into a single computation (the paper's
+/// characterize-*once* promise, kept under concurrency).
+pub(crate) struct ServiceCore {
     pas2p: Pas2p,
-    store: SignatureStore,
+    pub(crate) store: Mutex<SignatureStore>,
     resolve: AppResolver,
     policy: MappingPolicy,
-    requests: u64,
+    pub(crate) deadline: Option<Duration>,
+    pub(crate) stats: ServeStats,
+    pending: Mutex<HashSet<String>>,
+    pending_cv: Condvar,
+}
+
+/// Removes its alias from the single-flight set on drop — including the
+/// unwind of a deadline-cancelled run — so waiters never starve behind
+/// a computation that is no longer happening.
+struct PendingGuard<'a> {
+    core: &'a ServiceCore,
+    alias: String,
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        let mut pending = self.core.pending.lock();
+        pending.remove(&self.alias);
+        self.core.pending_cv.notify_all();
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked".to_string()
+    }
+}
+
+/// The prediction service: a [`Pas2p`] pipeline in front of a
+/// [`SignatureStore`]. Cheap to clone; clones share the same store,
+/// stats and single-flight state, which is how the concurrent server
+/// hands one service to many workers.
+pub struct PredictionService {
+    core: Arc<ServiceCore>,
+}
+
+impl Clone for PredictionService {
+    fn clone(&self) -> PredictionService {
+        PredictionService {
+            core: Arc::clone(&self.core),
+        }
+    }
 }
 
 impl PredictionService {
     /// A service over `store`, resolving app names through `resolve`.
     pub fn new(pas2p: Pas2p, store: SignatureStore, resolve: AppResolver) -> PredictionService {
+        let stats = ServeStats::default();
+        stats.entries.store(store.len() as u64, Ordering::SeqCst);
+        stats.accepting.store(true, Ordering::SeqCst);
         PredictionService {
-            pas2p,
-            store,
-            resolve,
-            policy: MappingPolicy::Block,
-            requests: 0,
+            core: Arc::new(ServiceCore {
+                pas2p,
+                store: Mutex::new(store),
+                resolve,
+                policy: MappingPolicy::Block,
+                deadline: None,
+                stats,
+                pending: Mutex::new(HashSet::new()),
+                pending_cv: Condvar::new(),
+            }),
         }
+    }
+
+    /// Set the per-request deadline for `submit`/`predict` (builder
+    /// style; `None` disables). Must be called before the service is
+    /// shared with a server.
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> PredictionService {
+        Arc::get_mut(&mut self.core)
+            .expect("deadline is configured before the service is shared")
+            .deadline = deadline;
+        self
     }
 
     /// The service's configuration fingerprint (see
     /// [`config_fingerprint`]).
     pub fn fingerprint(&self) -> String {
+        self.core.fingerprint()
+    }
+
+    /// Snapshot of the store's open-time repair report.
+    pub fn store_report(&self) -> StoreReport {
+        self.core.store.lock().report().clone()
+    }
+
+    /// The store report as `STORE-*` diagnostics.
+    pub fn store_diagnostics(&self) -> Vec<pas2p_check::Diagnostic> {
+        self.core.store.lock().diagnostics()
+    }
+
+    /// Entries currently in the store.
+    pub fn store_len(&self) -> usize {
+        self.core.store.lock().len()
+    }
+
+    /// The shared interior, for the server front end.
+    pub(crate) fn core(&self) -> &Arc<ServiceCore> {
+        &self.core
+    }
+}
+
+impl ServiceCore {
+    pub(crate) fn fingerprint(&self) -> String {
         config_fingerprint(
             &self.pas2p.similarity,
             &self.pas2p.signature,
             self.pas2p.instrumentation.per_event_seconds,
         )
-    }
-
-    /// Shared view of the underlying store (report, len, index path).
-    pub fn store(&self) -> &SignatureStore {
-        &self.store
     }
 
     fn policy_label(&self) -> String {
@@ -329,11 +508,20 @@ impl PredictionService {
         preset_by_name(name).ok_or_else(|| format!("unknown machine preset '{name}'"))
     }
 
+    /// Mirror the store's entry count into the lock-free stats while
+    /// already holding the store lock.
+    fn sync_entries(&self, store: &SignatureStore) {
+        self.stats
+            .entries
+            .store(store.len() as u64, Ordering::SeqCst);
+    }
+
     /// Analyze `app` on `base`, construct the signature, and persist
     /// both under the trace's content address. Returns the key and the
-    /// stored payload.
+    /// stored payload. Runs without the store lock; only the final
+    /// publish takes it.
     fn compute_and_store(
-        &mut self,
+        &self,
         app: &dyn MpiApp,
         base: &MachineModel,
         fingerprint: &str,
@@ -350,7 +538,7 @@ impl PredictionService {
     /// construct and store. The expensive part — phase extraction —
     /// already happened inside the batch driver and is not repeated.
     fn persist_from_analysis(
-        &mut self,
+        &self,
         app: &dyn MpiApp,
         analysis: Analysis,
         base: &MachineModel,
@@ -364,7 +552,7 @@ impl PredictionService {
     }
 
     fn persist(
-        &mut self,
+        &self,
         app: &dyn MpiApp,
         analysis: Analysis,
         base: &MachineModel,
@@ -395,17 +583,21 @@ impl PredictionService {
             tfat_seconds: analysis.tfat_seconds,
             metrics: analysis.metrics,
         };
-        self.store
+        let mut store = self.store.lock();
+        store
             .put_signature(&key, &payload, sidecar)
             .map_err(|e| e.to_string())?;
+        self.sync_entries(&store);
         Ok((key, payload))
     }
 
     /// Ensure a signature for (app, nprocs, base) exists in the store;
     /// returns the key, the payload, and whether it was served from
-    /// cache.
+    /// cache. Concurrent callers for the same alias are single-flighted:
+    /// one computes Stage A, the rest wait on the condvar and then read
+    /// the published artifact.
     fn ensure_signature(
-        &mut self,
+        &self,
         app_name: &str,
         nprocs: u32,
         base_name: &str,
@@ -420,20 +612,39 @@ impl PredictionService {
             &base.name,
             &fingerprint,
         );
-        if let Some(key) = self.store.lookup_alias(&alias) {
-            if let Some((payload, _sidecar)) = self.store.get_signature(&key) {
-                return Ok((key, payload, true));
+        loop {
+            {
+                let mut store = self.store.lock();
+                if let Some(key) = store.lookup_alias(&alias) {
+                    if let Some((payload, _sidecar)) = store.get_signature(&key) {
+                        return Ok((key, payload, true));
+                    }
+                    // The entry was just evicted as corrupt/missing —
+                    // fall through and recompute; the store already
+                    // reported it.
+                }
             }
-            // The entry was just evicted as corrupt/missing — fall
-            // through and recompute; the store already reported it.
+            let mut pending = self.pending.lock();
+            if !pending.contains(&alias) {
+                pending.insert(alias.clone());
+                break;
+            }
+            // Another request is computing exactly this signature.
+            // Wait for it to finish (or fail), then re-check the store
+            // instead of duplicating the expensive Stage-A run.
+            self.pending_cv.wait(&mut pending);
         }
+        let _guard = PendingGuard {
+            core: self,
+            alias: alias.clone(),
+        };
         let (key, payload) = self.compute_and_store(app.as_ref(), &base, &fingerprint)?;
         Ok((key, payload, false))
     }
 
     /// `submit`: analyze + store (or confirm presence).
-    pub fn submit(
-        &mut self,
+    pub(crate) fn submit(
+        &self,
         app_name: &str,
         nprocs: u32,
         base_name: &str,
@@ -451,8 +662,8 @@ impl PredictionService {
 
     /// `predict`: serve the (app, target) prediction, from the store
     /// when present, computing and persisting on the way otherwise.
-    pub fn predict(
-        &mut self,
+    pub(crate) fn predict(
+        &self,
         app_name: &str,
         nprocs: u32,
         base_name: &str,
@@ -474,9 +685,10 @@ impl PredictionService {
                 &base.name,
                 &fingerprint,
             );
-            if let Some(sig_key) = self.store.lookup_alias(&alias) {
+            let mut store = self.store.lock();
+            if let Some(sig_key) = store.lookup_alias(&alias) {
                 let pkey = prediction_key(&sig_key, &target, &policy_label);
-                if let Some(json) = self.store.get_prediction_json(&pkey) {
+                if let Some(json) = store.get_prediction_json(&pkey) {
                     return Ok(PredictOutcome {
                         app: app.name(),
                         target: target.name.clone(),
@@ -516,9 +728,13 @@ impl PredictionService {
             base: stored.base_machine.clone(),
             target: Some(target.name.clone()),
         };
-        self.store
-            .put_prediction_json(&pkey, entry, &json)
-            .map_err(|e| e.to_string())?;
+        {
+            let mut store = self.store.lock();
+            store
+                .put_prediction_json(&pkey, entry, &json)
+                .map_err(|e| e.to_string())?;
+            self.sync_entries(&store);
+        }
         Ok(PredictOutcome {
             app: stored.app_name,
             target: target.name,
@@ -533,8 +749,8 @@ impl PredictionService {
     /// persist the completed analyses, then serve the apps × targets
     /// prediction matrix through the cache path.
     #[allow(clippy::too_many_arguments)]
-    pub fn batch(
-        &mut self,
+    pub(crate) fn batch(
+        &self,
         apps: &[String],
         nprocs: u32,
         base_name: &str,
@@ -546,22 +762,26 @@ impl PredictionService {
         let base = Self::resolve_machine(base_name)?;
         let fingerprint = self.fingerprint();
 
-        // Which apps still need Stage A?
+        // Which apps still need Stage A? One short lock for the whole
+        // census — no compute happens under it.
         let mut missing: Vec<String> = Vec::new();
         let mut statuses = serde_json::Map::new();
-        for name in apps {
-            let app = self.resolve_app(name, nprocs)?;
-            let alias = signature_alias(
-                &app.name(),
-                &app.workload(),
-                app.nprocs(),
-                &base.name,
-                &fingerprint,
-            );
-            if self.store.lookup_alias(&alias).is_some() {
-                statuses.insert(name.clone(), json!("cached"));
-            } else {
-                missing.push(name.clone());
+        {
+            let store = self.store.lock();
+            for name in apps {
+                let app = self.resolve_app(name, nprocs)?;
+                let alias = signature_alias(
+                    &app.name(),
+                    &app.workload(),
+                    app.nprocs(),
+                    &base.name,
+                    &fingerprint,
+                );
+                if store.lookup_alias(&alias).is_some() {
+                    statuses.insert(name.clone(), json!("cached"));
+                } else {
+                    missing.push(name.clone());
+                }
             }
         }
 
@@ -618,17 +838,20 @@ impl PredictionService {
     }
 
     /// `stats`: request counters, store shape, and the store report.
-    pub fn stats(&self) -> serde_json::Value {
-        let report = self.store.report();
-        let diagnostics: Vec<String> = self
-            .store
+    /// Takes the store lock (unlike `health`).
+    pub(crate) fn stats_value(&self) -> serde_json::Value {
+        let store = self.store.lock();
+        let report = store.report();
+        let diagnostics: Vec<String> = store
             .diagnostics()
             .iter()
             .map(|d| format!("{}: {}", d.code, d.message))
             .collect();
         json!({
-            "requests": self.requests,
-            "entries": self.store.len(),
+            "requests": self.stats.requests.load(Ordering::SeqCst),
+            "shed": self.stats.shed.load(Ordering::SeqCst),
+            "timeouts": self.stats.timeouts.load(Ordering::SeqCst),
+            "entries": store.len(),
             "format_version": STORE_FORMAT_VERSION,
             "fingerprint": self.fingerprint(),
             "store_report": report.to_value(),
@@ -636,10 +859,122 @@ impl PredictionService {
         })
     }
 
+    /// `health`: serving state from atomics only — no lock anywhere on
+    /// this path, so it answers even while every worker is wedged
+    /// behind a gated store or a long Stage-A run.
+    pub(crate) fn health_value(&self) -> serde_json::Value {
+        json!({
+            "accepting": self.stats.accepting.load(Ordering::SeqCst),
+            "workers": self.stats.workers.load(Ordering::SeqCst),
+            "queue_capacity": self.stats.queue_capacity.load(Ordering::SeqCst),
+            "queue_depth": self.stats.queue_depth.load(Ordering::SeqCst),
+            "inflight": self.stats.inflight.load(Ordering::SeqCst),
+            "connections": self.stats.connections.load(Ordering::SeqCst),
+            "requests": self.stats.requests.load(Ordering::SeqCst),
+            "shed": self.stats.shed.load(Ordering::SeqCst),
+            "timeouts": self.stats.timeouts.load(Ordering::SeqCst),
+            "entries": self.stats.entries.load(Ordering::SeqCst),
+            "deadline_ms": self.deadline.map(|d| d.as_millis() as u64),
+        })
+    }
+
+    /// Flush the store index to disk (graceful-shutdown step).
+    pub(crate) fn flush_store(&self) {
+        let mut store = self.store.lock();
+        if let Err(e) = store.flush_index() {
+            eprintln!("pas2p serve: flushing store index on shutdown: {e}");
+        }
+    }
+}
+
+impl PredictionService {
+    /// `submit`: analyze + store (or confirm presence).
+    pub fn submit(
+        &self,
+        app_name: &str,
+        nprocs: u32,
+        base_name: &str,
+    ) -> Result<SubmitOutcome, String> {
+        self.core.submit(app_name, nprocs, base_name)
+    }
+
+    /// `predict`: serve the (app, target) prediction, from the store
+    /// when present, computing and persisting on the way otherwise.
+    pub fn predict(
+        &self,
+        app_name: &str,
+        nprocs: u32,
+        base_name: &str,
+        target_name: &str,
+    ) -> Result<PredictOutcome, String> {
+        self.core.predict(app_name, nprocs, base_name, target_name)
+    }
+
+    /// `batch`: analyze every missing app through the batch driver,
+    /// then serve the apps × targets prediction matrix.
+    #[allow(clippy::too_many_arguments)]
+    pub fn batch(
+        &self,
+        apps: &[String],
+        nprocs: u32,
+        base_name: &str,
+        targets: &[String],
+        workers: Option<usize>,
+        deadline_ms: Option<u64>,
+        retries: Option<u32>,
+    ) -> Result<serde_json::Value, String> {
+        self.core
+            .batch(apps, nprocs, base_name, targets, workers, deadline_ms, retries)
+    }
+
+    /// `stats`: request counters, store shape, and the store report.
+    pub fn stats(&self) -> serde_json::Value {
+        self.core.stats_value()
+    }
+
+    /// Live serving counters (shed, timeouts, …).
+    pub fn serve_stats(&self) -> &ServeStats {
+        &self.core.stats
+    }
+
+    /// Run `f` under the panic boundary and (for deadline-bearing
+    /// services) the abandonable deadline runner. A panicking request
+    /// answers `code:"panic"`; an expired one answers `code:"timeout"`
+    /// while the runner unwinds at its next stage boundary.
+    fn run_guarded(
+        &self,
+        op: &'static str,
+        f: impl FnOnce() -> Response + Send + 'static,
+    ) -> Response {
+        let wrapped = move || match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(response) => response,
+            Err(payload) => Response::failure_code(op, "panic", panic_message(payload)),
+        };
+        match self.core.deadline {
+            None => wrapped(),
+            Some(deadline) => {
+                match crate::cancel::run_abandonable("host.serve", deadline, wrapped) {
+                    Some(response) => response,
+                    None => {
+                        self.core.stats.timeouts.fetch_add(1, Ordering::SeqCst);
+                        if pas2p_obs::enabled() {
+                            pas2p_obs::counter("serve.timeout").add(1);
+                        }
+                        Response::failure_code(
+                            op,
+                            "timeout",
+                            format!("deadline of {:.3}s expired", deadline.as_secs_f64()),
+                        )
+                    }
+                }
+            }
+        }
+    }
+
     /// Decode and execute one protocol line. Returns the response and
     /// whether the serve loop should stop.
-    pub fn handle_line(&mut self, line: &str) -> (Response, bool) {
-        self.requests += 1;
+    pub fn handle_line(&self, line: &str) -> (Response, bool) {
+        self.core.stats.requests.fetch_add(1, Ordering::SeqCst);
         if pas2p_obs::enabled() {
             pas2p_obs::counter("serve.requests").add(1);
         }
@@ -647,7 +982,7 @@ impl PredictionService {
             Ok(r) => r,
             Err(e) => {
                 return (
-                    Response::failure("invalid", format!("malformed request: {e}")),
+                    Response::failure_code("invalid", "invalid", format!("malformed request: {e}")),
                     false,
                 )
             }
@@ -656,20 +991,23 @@ impl PredictionService {
             Request::Submit { app, nprocs, base } => {
                 let mut st = pas2p_obs::stage("serve.submit");
                 st.items(1);
-                let response = match self.submit(&app, nprocs, &base) {
-                    Ok(outcome) => Response::success(
-                        "submit",
-                        json!({
-                            "digest": outcome.digest.as_str(),
-                            "cached": outcome.cached,
-                            "app": outcome.app.as_str(),
-                            "phases": outcome.phases,
-                            "relevant": outcome.relevant,
-                            "confidence": outcome.confidence.as_str(),
-                        }),
-                    ),
-                    Err(e) => Response::failure("submit", e),
-                };
+                let core = Arc::clone(&self.core);
+                let response = self.run_guarded("submit", move || {
+                    match core.submit(&app, nprocs, &base) {
+                        Ok(outcome) => Response::success(
+                            "submit",
+                            json!({
+                                "digest": outcome.digest.as_str(),
+                                "cached": outcome.cached,
+                                "app": outcome.app.as_str(),
+                                "phases": outcome.phases,
+                                "relevant": outcome.relevant,
+                                "confidence": outcome.confidence.as_str(),
+                            }),
+                        ),
+                        Err(e) => Response::failure("submit", e),
+                    }
+                });
                 st.finish();
                 (response, false)
             }
@@ -681,23 +1019,26 @@ impl PredictionService {
             } => {
                 let mut st = pas2p_obs::stage("serve.predict");
                 st.items(1);
-                let response = match self.predict(&app, nprocs, &base, &target) {
-                    Ok(outcome) => {
-                        let prediction: serde_json::Value =
-                            serde_json::from_str(&outcome.prediction_json).unwrap_or_default();
-                        Response::success(
-                            "predict",
-                            json!({
-                                "app": outcome.app,
-                                "target": outcome.target,
-                                "cached": outcome.cached,
-                                "signature_cached": outcome.signature_cached,
-                                "prediction": prediction,
-                            }),
-                        )
+                let core = Arc::clone(&self.core);
+                let response = self.run_guarded("predict", move || {
+                    match core.predict(&app, nprocs, &base, &target) {
+                        Ok(outcome) => {
+                            let prediction: serde_json::Value =
+                                serde_json::from_str(&outcome.prediction_json).unwrap_or_default();
+                            Response::success(
+                                "predict",
+                                json!({
+                                    "app": outcome.app,
+                                    "target": outcome.target,
+                                    "cached": outcome.cached,
+                                    "signature_cached": outcome.signature_cached,
+                                    "prediction": prediction,
+                                }),
+                            )
+                        }
+                        Err(e) => Response::failure("predict", e),
                     }
-                    Err(e) => Response::failure("predict", e),
-                };
+                });
                 st.finish();
                 (response, false)
             }
@@ -710,9 +1051,12 @@ impl PredictionService {
                 deadline_ms,
                 retries,
             } => {
+                // Batch carries its own per-job deadline; the service
+                // deadline does not wrap it — only the panic boundary.
                 let mut st = pas2p_obs::stage("serve.batch");
                 st.items(apps.len() as u64);
-                let response = match self.batch(
+                let core = Arc::clone(&self.core);
+                let run = move || match core.batch(
                     &apps,
                     nprocs,
                     &base,
@@ -724,13 +1068,24 @@ impl PredictionService {
                     Ok(result) => Response::success("batch", result),
                     Err(e) => Response::failure("batch", e),
                 };
+                let response = match catch_unwind(AssertUnwindSafe(run)) {
+                    Ok(response) => response,
+                    Err(payload) => {
+                        Response::failure_code("batch", "panic", panic_message(payload))
+                    }
+                };
                 st.finish();
                 (response, false)
             }
+            Request::Ping => (Response::success("ping", json!({"pong": true})), false),
+            Request::Health => (
+                Response::success("health", self.core.health_value()),
+                false,
+            ),
             Request::Stats => {
                 let mut st = pas2p_obs::stage("serve.stats");
                 st.items(1);
-                let response = Response::success("stats", self.stats());
+                let response = Response::success("stats", self.core.stats_value());
                 st.finish();
                 (response, false)
             }
@@ -742,8 +1097,10 @@ impl PredictionService {
     }
 
     /// Serve newline-delimited JSON requests from `input`, writing one
-    /// response line each to `output`, until EOF or a `shutdown`.
-    pub fn serve(&mut self, input: impl BufRead, mut output: impl Write) -> std::io::Result<()> {
+    /// response line each to `output`, until EOF or a `shutdown`. The
+    /// final response is flushed before the loop exits, and the store
+    /// index is flushed to disk on the way out.
+    pub fn serve(&self, input: impl BufRead, mut output: impl Write) -> std::io::Result<()> {
         for line in input.lines() {
             let line = line?;
             if line.trim().is_empty() {
@@ -756,38 +1113,19 @@ impl PredictionService {
                 break;
             }
         }
+        self.core.stats.accepting.store(false, Ordering::SeqCst);
+        self.core.flush_store();
         Ok(())
     }
 
-    /// Serve over a unix socket: accept one connection at a time, run
-    /// the line protocol on it, and keep accepting until a client sends
-    /// `shutdown`. The socket file is created fresh and removed on
-    /// clean exit.
+    /// Serve over a unix socket with the default concurrent-server
+    /// options (see [`crate::server::ServeOptions`]): a bounded worker
+    /// pool over N simultaneous connections, a bounded request queue
+    /// with load-shedding, and graceful drain on shutdown. The socket
+    /// file is created fresh and removed on clean exit.
     #[cfg(unix)]
-    pub fn serve_unix(&mut self, socket_path: &std::path::Path) -> std::io::Result<()> {
-        let _ = std::fs::remove_file(socket_path);
-        let listener = std::os::unix::net::UnixListener::bind(socket_path)?;
-        let mut stop = false;
-        while !stop {
-            let (stream, _addr) = listener.accept()?;
-            let reader = std::io::BufReader::new(stream.try_clone()?);
-            let mut writer = stream;
-            for line in reader.lines() {
-                let line = line?;
-                if line.trim().is_empty() {
-                    continue;
-                }
-                let (response, should_stop) = self.handle_line(&line);
-                writeln!(writer, "{}", response.render())?;
-                writer.flush()?;
-                if should_stop {
-                    stop = true;
-                    break;
-                }
-            }
-        }
-        let _ = std::fs::remove_file(socket_path);
-        Ok(())
+    pub fn serve_unix(&self, socket_path: &std::path::Path) -> std::io::Result<()> {
+        crate::server::serve_unix_with(self, socket_path, crate::server::ServeOptions::default())
     }
 }
 
@@ -819,7 +1157,7 @@ mod tests {
     #[test]
     fn malformed_requests_fail_without_stopping_the_loop() {
         let root = temp_root("malformed");
-        let mut svc = service(&root);
+        let svc = service(&root);
         let (response, stop) = svc.handle_line("{definitely not json");
         assert!(!response.ok);
         assert_eq!(response.op, "invalid");
@@ -833,7 +1171,7 @@ mod tests {
     #[test]
     fn unknown_app_or_machine_is_an_error_response() {
         let root = temp_root("unknown");
-        let mut svc = service(&root);
+        let svc = service(&root);
         assert!(svc.submit("nosuchapp", 4, "A").is_err());
         assert!(svc.predict("cg", 4, "A", "Z").is_err());
         let _ = std::fs::remove_dir_all(&root);
@@ -842,7 +1180,7 @@ mod tests {
     #[test]
     fn submit_is_computed_once_then_served_from_the_store() {
         let root = temp_root("submit");
-        let mut svc = service(&root);
+        let svc = service(&root);
         let cold = svc.submit("cg", 4, "A").expect("cold submit");
         assert!(!cold.cached);
         assert!(cold.relevant > 0, "cg has relevant phases");
@@ -855,7 +1193,7 @@ mod tests {
     #[test]
     fn warm_predictions_are_byte_identical_to_cold_ones() {
         let root = temp_root("predict");
-        let mut svc = service(&root);
+        let svc = service(&root);
         let cold = svc.predict("cg", 4, "A", "B").expect("cold predict");
         assert!(!cold.cached);
         assert!(!cold.signature_cached, "nothing was stored yet");
@@ -872,7 +1210,7 @@ mod tests {
         assert!(value.get("metrics").is_none());
 
         // A fresh service over the same store predicts without Stage A.
-        let mut svc2 = service(&root);
+        let svc2 = service(&root);
         let reheated = svc2.predict("cg", 4, "A", "B").expect("reheated predict");
         assert!(reheated.cached);
         assert_eq!(reheated.prediction_json, cold.prediction_json);
@@ -882,7 +1220,7 @@ mod tests {
     #[test]
     fn batch_analyzes_missing_apps_and_serves_the_matrix() {
         let root = temp_root("batch");
-        let mut svc = service(&root);
+        let svc = service(&root);
         svc.submit("cg", 4, "A").expect("pre-seed cg");
         let result = svc
             .batch(
@@ -926,7 +1264,7 @@ mod tests {
     #[test]
     fn serve_loop_answers_each_line_and_stops_on_shutdown() {
         let root = temp_root("loop");
-        let mut svc = service(&root);
+        let svc = service(&root);
         let input = concat!(
             r#"{"op":"submit","app":"cg","nprocs":4}"#,
             "\n\n",
@@ -971,7 +1309,7 @@ mod tests {
         let socket_path = socket.clone();
         let store_root = root.clone();
         let server = std::thread::spawn(move || {
-            let mut svc = service(&store_root);
+            let svc = service(&store_root);
             svc.serve_unix(&socket_path).expect("serve_unix");
         });
         // The listener needs a moment to bind.

@@ -26,6 +26,12 @@
 use pas2p_trace::{format, Trace};
 use serde::{Deserialize, Serialize};
 
+pub mod chaos;
+pub mod store_io;
+
+pub use chaos::{chaos_plan, ChaosBehavior, ChaosPlan};
+pub use store_io::{FaultStoreIo, StoreFaultKind, StoreFaultStats, StoreOp};
+
 /// A tiny deterministic PRNG (splitmix64). The crate deliberately avoids
 /// a `rand` dependency: fault injection must be reproducible from the
 /// plan alone, and splitmix64's whole state is its seed.

@@ -1,0 +1,110 @@
+//! The store's filesystem seam: every byte the repository reads or
+//! writes goes through a [`StoreIo`], so durability can be tested
+//! against *injected* failures instead of hoped-for ones.
+//!
+//! Production uses [`RealIo`] (plain `std::fs` plus explicit fsync);
+//! the chaos harness swaps in `pas2p_faults::FaultStoreIo`, which
+//! wraps a `RealIo` and makes the nth write tear, the nth read come up
+//! short, a rename or fsync fail, or an operation block on a gate file
+//! — all deterministically. The store's contract is the same either
+//! way: an acknowledged write survives, a failed write surfaces a
+//! classified [`crate::StoreError`], and nothing is ever torn silently.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Filesystem operations the repository performs. Implementations must
+/// be [`Send`] so a store can live behind a mutex shared by server
+/// workers.
+pub trait StoreIo: Send {
+    /// Read a whole file as UTF-8.
+    fn read_to_string(&self, path: &Path) -> io::Result<String>;
+    /// Create (or truncate) `path` and write `bytes` to it.
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Flush `path`'s data and metadata to stable storage (fsync).
+    fn sync_file(&self, path: &Path) -> io::Result<()>;
+    /// Flush the directory entry table of `dir` to stable storage, so a
+    /// rename into it survives a crash.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Atomically rename `from` to `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Remove a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Create a directory and all parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// All entries of a directory (files and subdirectories).
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+}
+
+/// The production implementation: `std::fs` with explicit fsync.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+impl StoreIo for RealIo {
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        std::fs::read_to_string(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::OpenOptions::new()
+            .read(true)
+            .open(path)?
+            .sync_all()
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Opening a directory read-only and fsyncing it is the portable
+        // unix idiom for making a rename durable; on platforms where
+        // directories cannot be fsynced the open itself fails and the
+        // caller surfaces the error.
+        std::fs::File::open(dir)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_io_roundtrips_and_syncs() {
+        let dir = std::env::temp_dir().join(format!("pas2p-io-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let io = RealIo;
+        io.create_dir_all(&dir).expect("mkdir");
+        let a = dir.join("a.txt");
+        let b = dir.join("b.txt");
+        io.write(&a, b"hello").expect("write");
+        io.sync_file(&a).expect("fsync file");
+        io.rename(&a, &b).expect("rename");
+        io.sync_dir(&dir).expect("fsync dir");
+        assert_eq!(io.read_to_string(&b).expect("read"), "hello");
+        assert_eq!(io.list_dir(&dir).expect("list"), vec![b.clone()]);
+        io.remove_file(&b).expect("rm");
+        assert!(io.read_to_string(&b).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -24,6 +24,12 @@
 //!   files; a damaged object fails its checksum, is evicted, and the
 //!   caller recomputes — all reported via [`StoreReport`] and `STORE-*`
 //!   diagnostics (the `IngestReport` pattern, one layer up).
+//! * **Crash durability** — writes go to per-write unique temp files
+//!   that are fsynced (file and parent directory) around an atomic
+//!   rename, and opening runs a recovery pass that sweeps stale temps
+//!   and evicts torn objects; all filesystem access is routed through
+//!   the [`StoreIo`] seam so these guarantees are provable under
+//!   injected faults.
 //!
 //! Observability: `store.hit` / `store.miss` / `store.evict` /
 //! `store.put` counters and a `store.entries` gauge, behind the same
@@ -33,11 +39,13 @@
 #![warn(missing_docs)]
 
 mod digest;
+pub mod io;
 mod key;
 mod report;
 mod store;
 
 pub use digest::{sha256_hex, Sha256};
+pub use io::{RealIo, StoreIo};
 pub use key::{
     config_fingerprint, prediction_key, signature_alias, signature_key, StoreKey,
     STORE_FORMAT_VERSION,
@@ -247,6 +255,67 @@ mod tests {
         // The entry survives: kind mismatch is the caller's confusion,
         // not corruption.
         assert_eq!(store.len(), 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// The crash-recovery contract: a kill mid-write leaves a torn
+    /// object and a stale temp file on disk; reopening the store must
+    /// sweep the temp, evict the torn object with a `STORE-*`
+    /// diagnostic, and keep serving intact entries byte-identically.
+    #[test]
+    fn kill_mid_write_recovers_on_reopen() {
+        let root = temp_root("crash");
+        let mut store = SignatureStore::open(&root).expect("open");
+        let intact = pred_key(10);
+        let torn = pred_key(11);
+        let intact_json = r#"{"app":"cg","pet":1.25}"#;
+        store
+            .put_prediction_json(&intact, pred_entry("cg", "B"), intact_json)
+            .expect("put intact");
+        store
+            .put_prediction_json(&torn, pred_entry("lu", "B"), r#"{"app":"lu","pet":3.5}"#)
+            .expect("put torn-to-be");
+        drop(store);
+
+        // Simulate the kill: the second object's bytes are half-written
+        // (as if the page cache never made it out), and a stale temp
+        // file from the interrupted write is still lying around.
+        let objects = root.join("objects");
+        let torn_path = objects.join(format!("{}.json", torn.digest));
+        let text = std::fs::read_to_string(&torn_path).expect("object");
+        std::fs::write(&torn_path, &text.as_bytes()[..text.len() / 2]).expect("tear");
+        std::fs::write(
+            objects.join("deadbeef.json.0123456789abcdef-99-7.tmp"),
+            b"partial temp garbage",
+        )
+        .expect("stale temp");
+
+        let mut store = SignatureStore::open(&root).expect("reopen");
+        let report = store.report().clone();
+        assert_eq!(report.temps_removed, 1, "stale temp swept: {report:?}");
+        assert_eq!(report.evicted_corrupt, 1, "torn object evicted at open");
+        assert!(!report.is_clean());
+        let codes: Vec<String> = store.diagnostics().iter().map(|d| d.code.clone()).collect();
+        let codes: Vec<&str> = codes.iter().map(String::as_str).collect();
+        assert!(codes.contains(&"STORE-CORRUPT-001"), "codes: {codes:?}");
+        assert!(codes.contains(&"STORE-TMP-001"), "codes: {codes:?}");
+        assert!(
+            report.eviction_log.iter().any(|l| l.contains("startup recovery")),
+            "eviction log names the recovery pass: {:?}",
+            report.eviction_log
+        );
+
+        // The torn entry reads as a miss (recompute path); the intact
+        // entry still serves byte-identical payloads; no temp remains.
+        assert!(store.get_prediction_json(&torn).is_none());
+        assert_eq!(
+            store.get_prediction_json(&intact).as_deref(),
+            Some(intact_json)
+        );
+        for file in std::fs::read_dir(&objects).expect("objects") {
+            let path = file.expect("entry").path();
+            assert_ne!(path.extension().and_then(|e| e.to_str()), Some("tmp"));
+        }
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -12,6 +12,9 @@
 //!   parse; the entry was evicted and the artifact recomputed (Warning).
 //! * `STORE-OBJ-001` — the index pointed at an object file that no
 //!   longer exists; the dangling entry was evicted (Warning).
+//! * `STORE-TMP-001` — stale temp files from crashed writes were
+//!   removed by the startup recovery pass (Info: the crash-durability
+//!   protocol working as designed).
 
 use pas2p_check::{Diagnostic, Location, Severity};
 use serde::{Deserialize, Serialize};
@@ -33,6 +36,10 @@ pub struct StoreReport {
     pub evicted_corrupt: usize,
     /// Entries evicted because the index pointed at a missing object.
     pub evicted_missing: usize,
+    /// Stale temp files (crashed writes) removed at open by the
+    /// recovery pass.
+    #[serde(default)]
+    pub temps_removed: usize,
     /// One line per corrupt/missing object: digest prefix plus reason.
     pub eviction_log: Vec<String>,
 }
@@ -45,6 +52,7 @@ impl StoreReport {
             && self.evicted_version == 0
             && self.evicted_corrupt == 0
             && self.evicted_missing == 0
+            && self.temps_removed == 0
     }
 
     /// Total entries evicted for any reason.
@@ -60,6 +68,7 @@ impl StoreReport {
             "evicted_version": self.evicted_version,
             "evicted_corrupt": self.evicted_corrupt,
             "evicted_missing": self.evicted_missing,
+            "temps_removed": self.temps_removed,
             "eviction_log": self.eviction_log.clone(),
         })
     }
@@ -92,6 +101,12 @@ impl StoreReport {
             out.push_str(&format!(
                 "{} entr(ies) evicted: missing object file\n",
                 self.evicted_missing
+            ));
+        }
+        if self.temps_removed > 0 {
+            out.push_str(&format!(
+                "{} stale temp file(s) from crashed writes removed\n",
+                self.temps_removed
             ));
         }
         for line in &self.eviction_log {
@@ -172,6 +187,23 @@ impl StoreReport {
                     ),
                 )
                 .with_suggestion("object files were deleted outside the store API"),
+            );
+        }
+        if self.temps_removed > 0 {
+            out.push(
+                Diagnostic::new(
+                    "STORE-TMP-001",
+                    Severity::Info,
+                    Location::none(),
+                    format!(
+                        "{} stale temp file(s) from interrupted writes were removed at open",
+                        self.temps_removed
+                    ),
+                )
+                .with_suggestion(
+                    "expected after a crash mid-write; the published objects were verified \
+                     by the recovery pass",
+                ),
             );
         }
         out

@@ -15,12 +15,22 @@
 //! digest-stability tests pin). Volatile observations (TFAT seconds,
 //! the metrics snapshot) ride in a sidecar outside the checksum.
 //!
-//! Writes go through a temp file + rename, so a crash mid-write leaves
-//! either the old object or a stray temp file, never a torn artifact.
-//! Corruption is handled at read time: a bad object is evicted and
-//! reported ([`crate::StoreReport`]), and the caller recomputes.
+//! Writes are crash-durable: each goes to a per-write unique temp file
+//! (digest-derived suffix, so concurrent writers can never clobber each
+//! other), the temp is fsynced, renamed over the target, and the parent
+//! directory is fsynced — an acknowledged write survives a crash, and a
+//! crash mid-write leaves only the old object plus a stray temp file
+//! that the next open removes. Corruption is handled twice: a startup
+//! recovery pass verifies every indexed object and evicts torn ones,
+//! and checksums are re-verified lazily on access; every eviction is
+//! reported ([`crate::StoreReport`]) and the caller recomputes.
+//!
+//! All filesystem access goes through a [`StoreIo`] (see [`crate::io`]),
+//! so the fault-injection harness can tear writes, shorten reads and
+//! fail renames/fsyncs deterministically.
 
 use crate::digest::sha256_hex;
+use crate::io::{RealIo, StoreIo};
 use crate::key::{signature_alias, StoreKey, STORE_FORMAT_VERSION};
 use crate::report::StoreReport;
 use pas2p_obs::MetricsSnapshot;
@@ -290,24 +300,36 @@ pub struct SignatureStore {
     root: PathBuf,
     index: StoreIndex,
     report: StoreReport,
+    io: Box<dyn StoreIo>,
 }
 
 impl SignatureStore {
-    /// Open (or create) a store rooted at `root`.
+    /// Open (or create) a store rooted at `root`, with production I/O.
+    pub fn open(root: impl Into<PathBuf>) -> Result<SignatureStore, StoreError> {
+        Self::open_with_io(root, Box::new(RealIo))
+    }
+
+    /// Open (or create) a store rooted at `root`, performing all
+    /// filesystem access through `io` (the chaos harness passes a
+    /// fault-injecting implementation here).
     ///
     /// Opening validates what is already there: entries from another
     /// format version are evicted, an unreadable index is rebuilt by
-    /// scanning the object files, and everything done is recorded in
-    /// [`SignatureStore::report`]. Corrupt payloads are *not* detected
-    /// here — checksums are verified lazily on access, so opening a
-    /// large store stays cheap.
-    pub fn open(root: impl Into<PathBuf>) -> Result<SignatureStore, StoreError> {
+    /// scanning the object files, stale temp files from crashed writes
+    /// are removed, torn or missing objects are evicted by a recovery
+    /// pass, and everything done is recorded in
+    /// [`SignatureStore::report`]. Checksums are additionally
+    /// re-verified lazily on every access.
+    pub fn open_with_io(
+        root: impl Into<PathBuf>,
+        io: Box<dyn StoreIo>,
+    ) -> Result<SignatureStore, StoreError> {
         let root = root.into();
-        std::fs::create_dir_all(root.join("objects"))
+        io.create_dir_all(&root.join("objects"))
             .map_err(|e| io_err("creating store directories", e))?;
         let mut report = StoreReport::default();
         let index_path = root.join("index.json");
-        let mut index = match std::fs::read_to_string(&index_path) {
+        let mut index = match io.read_to_string(&index_path) {
             Ok(text) => match serde_json::from_str::<Value>(&text)
                 .ok()
                 .as_ref()
@@ -316,13 +338,13 @@ impl SignatureStore {
                 Some(index) => index,
                 None => {
                     report.index_rebuilt = true;
-                    Self::rebuild_index(&root)
+                    Self::rebuild_index(&root, io.as_ref())
                 }
             },
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => StoreIndex::default(),
             Err(_) => {
                 report.index_rebuilt = true;
-                Self::rebuild_index(&root)
+                Self::rebuild_index(&root, io.as_ref())
             }
         };
 
@@ -338,39 +360,107 @@ impl SignatureStore {
         for digest in &stale {
             index.entries.remove(digest);
             index.aliases.retain(|_, d| d != digest);
-            let _ = std::fs::remove_file(root.join("objects").join(format!("{digest}.json")));
+            let _ = io.remove_file(&root.join("objects").join(format!("{digest}.json")));
             report.evicted_version += 1;
             report.log_eviction(digest, "stale format version");
             count_evict();
         }
         index.format_version = STORE_FORMAT_VERSION;
-        report.entries_loaded = index.entries.len();
 
         let mut store = SignatureStore {
             root,
             index,
             report,
+            io,
         };
-        if store.report.index_rebuilt || !stale.is_empty() {
+        let recovered = store.recover();
+        store.report.entries_loaded = store.index.entries.len();
+        if store.report.index_rebuilt || !stale.is_empty() || recovered {
             store.flush_index()?;
         }
         Ok(store)
     }
 
+    /// Startup recovery: remove stale temp files left by crashed writes
+    /// and evict indexed objects that are torn (truncated / corrupt) or
+    /// missing, so an acknowledged-but-damaged entry can never serve.
+    /// Returns whether the index changed.
+    fn recover(&mut self) -> bool {
+        // Stale temps: a crash between temp-write and rename leaves a
+        // `*.tmp` file behind. They are never addressable, only litter.
+        for dir in [self.root.clone(), self.root.join("objects")] {
+            let Ok(entries) = self.io.list_dir(&dir) else {
+                continue;
+            };
+            for path in entries {
+                if path.extension().and_then(|e| e.to_str()) == Some("tmp") {
+                    if self.io.remove_file(&path).is_ok() {
+                        self.report.temps_removed += 1;
+                    }
+                }
+            }
+        }
+
+        // Torn-object eviction: verify every indexed object end to end
+        // (parse, digest agreement, payload checksum). A partial write
+        // published by a crash or a lying disk is caught here instead of
+        // surfacing as a latent read failure.
+        let digests: Vec<String> = self.index.entries.keys().cloned().collect();
+        let mut changed = false;
+        for digest in digests {
+            let path = self.object_path(&digest);
+            let reason = match self.io.read_to_string(&path) {
+                Err(_) => {
+                    self.index.entries.remove(&digest);
+                    self.index.aliases.retain(|_, d| d != &digest);
+                    self.report.evicted_missing += 1;
+                    self.report
+                        .log_eviction(&digest, "startup recovery: object file missing");
+                    count_evict();
+                    changed = true;
+                    continue;
+                }
+                Ok(text) => match serde_json::from_str::<Value>(&text)
+                    .ok()
+                    .as_ref()
+                    .and_then(object_from_value)
+                {
+                    None => Some("startup recovery: torn object (did not parse)"),
+                    Some(obj)
+                        if obj.digest != digest
+                            || obj.checksum != sha256_hex(obj.payload.as_bytes()) =>
+                    {
+                        Some("startup recovery: torn object (checksum mismatch)")
+                    }
+                    Some(_) => None,
+                },
+            };
+            if let Some(reason) = reason {
+                self.index.entries.remove(&digest);
+                self.index.aliases.retain(|_, d| d != &digest);
+                let _ = self.io.remove_file(&path);
+                self.report.evicted_corrupt += 1;
+                self.report.log_eviction(&digest, reason);
+                count_evict();
+                changed = true;
+            }
+        }
+        changed
+    }
+
     /// Reconstruct an index by scanning `objects/*.json`. Objects that
     /// do not parse are left on disk; without an index entry they are
     /// unreachable and harmless (and a later `put` may overwrite them).
-    fn rebuild_index(root: &Path) -> StoreIndex {
+    fn rebuild_index(root: &Path, io: &dyn StoreIo) -> StoreIndex {
         let mut index = StoreIndex::default();
-        let Ok(dir) = std::fs::read_dir(root.join("objects")) else {
+        let Ok(files) = io.list_dir(&root.join("objects")) else {
             return index;
         };
-        for file in dir.flatten() {
-            let path = file.path();
+        for path in files {
             if path.extension().and_then(|e| e.to_str()) != Some("json") {
                 continue;
             }
-            let Ok(text) = std::fs::read_to_string(&path) else {
+            let Ok(text) = io.read_to_string(&path) else {
                 continue;
             };
             let Some(obj) = serde_json::from_str::<Value>(&text)
@@ -517,7 +607,7 @@ impl SignatureStore {
         let existed = self.index.entries.remove(&key.digest).is_some();
         if existed {
             self.index.aliases.retain(|_, d| d != &key.digest);
-            let _ = std::fs::remove_file(self.object_path(&key.digest));
+            let _ = self.io.remove_file(&self.object_path(&key.digest));
             count_evict();
             let _ = self.flush_index();
         }
@@ -540,7 +630,7 @@ impl SignatureStore {
         for digest in &stale {
             self.index.entries.remove(digest);
             self.index.aliases.retain(|_, d| d != digest);
-            let _ = std::fs::remove_file(self.object_path(digest));
+            let _ = self.io.remove_file(&self.object_path(digest));
             self.report.log_eviction(digest, "stale config fingerprint");
             count_evict();
         }
@@ -562,7 +652,7 @@ impl SignatureStore {
             return None;
         }
         let path = self.object_path(&key.digest);
-        let text = match std::fs::read_to_string(&path) {
+        let text = match self.io.read_to_string(&path) {
             Ok(t) => t,
             Err(_) => {
                 self.index.entries.remove(&key.digest);
@@ -602,7 +692,7 @@ impl SignatureStore {
     fn evict_corrupt(&mut self, digest: &str, reason: &str) {
         self.index.entries.remove(digest);
         self.index.aliases.retain(|_, d| d != digest);
-        let _ = std::fs::remove_file(self.object_path(digest));
+        let _ = self.io.remove_file(&self.object_path(digest));
         self.report.evicted_corrupt += 1;
         self.report.log_eviction(digest, reason);
         count_evict();
@@ -625,7 +715,7 @@ impl SignatureStore {
         };
         let text = serde_json::to_string(&object_to_value(&obj))
             .map_err(|e| StoreError::Encode(e.to_string()))?;
-        write_atomic(&self.object_path(&key.digest), text.as_bytes())?;
+        self.write_atomic(&self.object_path(&key.digest), text.as_bytes())?;
         self.index.entries.insert(key.digest.clone(), entry);
         self.flush_index()?;
         if pas2p_obs::enabled() {
@@ -640,15 +730,146 @@ impl SignatureStore {
     pub fn flush_index(&mut self) -> Result<(), StoreError> {
         let text = serde_json::to_string(&index_to_value(&self.index))
             .map_err(|e| StoreError::Encode(e.to_string()))?;
-        write_atomic(&self.index_path(), text.as_bytes())
+        self.write_atomic(&self.index_path(), text.as_bytes())
+    }
+
+    /// Durable atomic write: a per-write unique temp file (so two
+    /// concurrent writers can never clobber each other's temp), fsynced
+    /// before the rename, with the parent directory fsynced after it —
+    /// an acknowledged write survives a crash at any point, and a crash
+    /// mid-write leaves only a stale temp for the next open's recovery
+    /// pass. Any failure removes the temp and surfaces a classified
+    /// [`StoreError`]; the target is never left torn.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+        let tmp = temp_path_for(path, bytes);
+        let cleanup_on = |context: &str, e: std::io::Error| {
+            let _ = self.io.remove_file(&tmp);
+            io_err(context, e)
+        };
+        self.io
+            .write(&tmp, bytes)
+            .map_err(|e| cleanup_on("writing artifact", e))?;
+        self.io
+            .sync_file(&tmp)
+            .map_err(|e| cleanup_on("fsyncing artifact", e))?;
+        self.io
+            .rename(&tmp, path)
+            .map_err(|e| cleanup_on("publishing artifact", e))?;
+        if let Some(parent) = path.parent() {
+            self.io
+                .sync_dir(parent)
+                .map_err(|e| io_err("fsyncing store directory", e))?;
+        }
+        Ok(())
     }
 }
 
-/// Write via temp file + rename so readers never observe a torn file.
-fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, bytes).map_err(|e| io_err("writing artifact", e))?;
-    std::fs::rename(&tmp, path).map_err(|e| io_err("publishing artifact", e))
+/// A per-write unique temp name next to `path`: a digest-derived
+/// suffix (first 16 hex of the content's SHA-256) plus pid and a
+/// process-global sequence number. Ends in `.tmp` so startup recovery
+/// can sweep strays.
+fn temp_path_for(path: &Path, bytes: &[u8]) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let digest = sha256_hex(bytes);
+    let name = format!(
+        "{}.{}-{}-{}.tmp",
+        path.file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("artifact"),
+        &digest[..16],
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    );
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temp_names_are_unique_per_write_and_digest_derived() {
+        let path = Path::new("/store/objects/abcd.json");
+        let a = temp_path_for(path, b"payload one");
+        let b = temp_path_for(path, b"payload one");
+        let c = temp_path_for(path, b"payload two");
+        // Same target, same content: still distinct (sequence number).
+        assert_ne!(a, b, "two writers must never share a temp file");
+        assert_ne!(a, c);
+        for t in [&a, &b, &c] {
+            assert_eq!(t.extension().and_then(|e| e.to_str()), Some("tmp"));
+            assert_eq!(t.parent(), path.parent(), "temp stays in the target dir");
+            let name = t.file_name().unwrap().to_string_lossy().into_owned();
+            assert!(name.starts_with("abcd.json."), "suffix scheme: {name}");
+        }
+        // The digest-derived component differs with the content.
+        let digest_of = |p: &Path| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            name.split('.').nth(2).unwrap().split('-').next().unwrap().to_string()
+        };
+        assert_eq!(digest_of(&a), digest_of(&b));
+        assert_ne!(digest_of(&a), digest_of(&c));
+    }
+
+    #[test]
+    fn concurrent_writers_leave_every_object_well_formed() {
+        let root = std::env::temp_dir().join(format!(
+            "pas2p-store-concurrent-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        // Many threads, each with its own store handle over the same
+        // root, writing distinct keys: every published object must be
+        // intact (no clobbered temp, no torn rename target). Handles are
+        // opened up front because open's recovery pass sweeps *.tmp
+        // files — legitimate on startup, hostile to a write in flight.
+        let mut handles: Vec<SignatureStore> = (0..4)
+            .map(|_| SignatureStore::open(&root).expect("open"))
+            .collect();
+        std::thread::scope(|scope| {
+            for (t, store) in handles.iter_mut().enumerate() {
+                let t = t as u8;
+                scope.spawn(move || {
+                    for i in 0..8u8 {
+                        let key = StoreKey {
+                            digest: sha256_hex(&[t, i]),
+                            fingerprint: "fp".into(),
+                        };
+                        let entry = IndexEntry {
+                            kind: ArtifactKind::Prediction,
+                            format_version: STORE_FORMAT_VERSION,
+                            fingerprint: "fp".into(),
+                            app: format!("app-{t}"),
+                            workload: "w".into(),
+                            nprocs: 8,
+                            base: "A".into(),
+                            target: Some("B".into()),
+                        };
+                        store
+                            .put_prediction_json(&key, entry, &format!("{{\"pet\":{t}.{i}}}"))
+                            .expect("put");
+                    }
+                });
+            }
+        });
+        let mut count = 0;
+        for file in std::fs::read_dir(root.join("objects")).expect("objects") {
+            let path = file.expect("entry").path();
+            assert_ne!(
+                path.extension().and_then(|e| e.to_str()),
+                Some("tmp"),
+                "no temp litter after clean writes: {path:?}"
+            );
+            let text = std::fs::read_to_string(&path).expect("object readable");
+            let v: Value = serde_json::from_str(&text).expect("object parses");
+            let obj = object_from_value(&v).expect("object well-formed");
+            assert_eq!(obj.checksum, sha256_hex(obj.payload.as_bytes()));
+            count += 1;
+        }
+        assert_eq!(count, 32, "every write published exactly one object");
+        let _ = std::fs::remove_dir_all(&root);
+    }
 }
 
 fn count_hit() {

@@ -33,7 +33,8 @@ const USAGE: &str = "usage:
   pas2p-cli signature --app NAME --nprocs N --base M [--out FILE]
   pas2p-cli predict   --app NAME --nprocs N --signature FILE --target M
   pas2p-cli predict   --app NAME --nprocs N --store DIR --target M [--base M]
-  pas2p-cli serve     --store DIR [--socket PATH] [--evict-stale]
+  pas2p-cli serve     --store DIR [--socket PATH] [--evict-stale] [--workers K]
+                      [--queue N] [--max-conns N] [--deadline-ms N] [--drain-ms N]
   pas2p-cli validate  --app NAME --nprocs N --base M --target M
   pas2p-cli check     --app NAME --nprocs N --base M [--json] [--logical-out FILE]
   pas2p-cli check     --logical FILE [--json]
@@ -79,6 +80,15 @@ serve: long-running prediction service over newline-delimited JSON on
   --socket PATH    listen on a unix socket instead of stdin
   --evict-stale    drop entries whose config fingerprint no longer
                    matches the current configuration before serving
+  --workers K      socket mode: compute worker pool size (default 4)
+  --queue N        socket mode: bounded request queue; a full queue sheds
+                   new requests with a retryable \"busy\" error (default 64)
+  --max-conns N    socket mode: concurrent connection cap (default 64)
+  --deadline-ms N  per-request compute deadline; an overrunning request is
+                   abandoned and answered with a \"timeout\" error
+  --drain-ms N     socket mode: graceful-shutdown drain budget (default 5000)
+  socket-mode extras: ops ping and health answer inline (never queued), so
+  liveness probes work even when the compute pool is saturated
 bench-report: run the full application suite through the batch driver and
   derive a schema-versioned performance record (TFAT, events/sec,
   jobs/sec, check-engine diagnostics/sec sequential vs parallel, and
@@ -338,7 +348,7 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
             if !store.report().is_clean() {
                 eprint!("{}", store.report().render());
             }
-            let mut svc =
+            let svc =
                 pas2p::PredictionService::new(pas2p, store, Box::new(pas2p_apps::by_name));
             let outcome = svc.predict(&name, nprocs, base, &target).map_err(input)?;
             let value: serde_json::Value =
@@ -628,11 +638,38 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
             );
             let mut svc =
                 pas2p::PredictionService::new(pas2p, store, Box::new(pas2p_apps::by_name));
+            if let Some(ms) = flags.get("deadline-ms") {
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|_| format!("bad --deadline-ms '{ms}'"))?;
+                svc = svc.with_deadline(Some(std::time::Duration::from_millis(ms)));
+            }
+            let svc = svc;
             match flags.get("socket") {
                 #[cfg(unix)]
                 Some(path) => {
-                    eprintln!("listening on unix socket {path}");
-                    svc.serve_unix(std::path::Path::new(path))
+                    let mut opts = pas2p::ServeOptions::default();
+                    if let Some(n) = flags.get("workers") {
+                        opts.workers = n.parse().map_err(|_| format!("bad --workers '{n}'"))?;
+                    }
+                    if let Some(n) = flags.get("queue") {
+                        opts.queue_capacity =
+                            n.parse().map_err(|_| format!("bad --queue '{n}'"))?;
+                    }
+                    if let Some(n) = flags.get("max-conns") {
+                        opts.max_connections =
+                            n.parse().map_err(|_| format!("bad --max-conns '{n}'"))?;
+                    }
+                    if let Some(ms) = flags.get("drain-ms") {
+                        let ms: u64 =
+                            ms.parse().map_err(|_| format!("bad --drain-ms '{ms}'"))?;
+                        opts.drain = std::time::Duration::from_millis(ms);
+                    }
+                    eprintln!(
+                        "listening on unix socket {path} ({} workers, queue {})",
+                        opts.workers, opts.queue_capacity
+                    );
+                    pas2p::serve_unix_with(&svc, std::path::Path::new(path), opts)
                         .map_err(|e| input(format!("serving on {path}: {e}")))?;
                 }
                 #[cfg(not(unix))]

@@ -53,7 +53,7 @@ fn digest_and_payload_are_stable_across_worker_counts() {
             let root = temp_root(&format!("par{parallelism}"));
             let mut pas2p = Pas2p::default();
             pas2p.similarity.parallelism = Some(parallelism);
-            let mut svc = service_with(pas2p, &root);
+            let svc = service_with(pas2p, &root);
             let outcome = svc.submit("cg", 4, "A").expect("submit");
             assert!(!outcome.cached);
             root
@@ -101,7 +101,7 @@ fn warm_predict_does_no_stage_a_work_and_matches_cold_bytes() {
     pas2p_obs::global().reset();
     pas2p_obs::set_enabled(true);
 
-    let mut svc = service(&root);
+    let svc = service(&root);
     let cold = svc.predict("cg", 4, "A", "B").expect("cold predict");
     assert!(!cold.cached);
     let before = pas2p_obs::global().snapshot();
@@ -157,7 +157,7 @@ fn warm_predict_does_no_stage_a_work_and_matches_cold_bytes() {
 fn corrupted_signature_recovers_by_recomputation() {
     let _serial = serial();
     let root = temp_root("corrupt");
-    let mut svc = service(&root);
+    let svc = service(&root);
     let cold = svc.predict("ft", 4, "A", "B").expect("cold predict");
     drop(svc);
 
@@ -170,7 +170,7 @@ fn corrupted_signature_recovers_by_recomputation() {
         std::fs::write(&path, text.replace("payload\":\"{", "payload\":\"{ ")).expect("tamper");
     }
 
-    let mut svc = service(&root);
+    let svc = service(&root);
     let recomputed = svc.predict("ft", 4, "A", "B").expect("recomputed predict");
     assert!(
         !recomputed.cached,
@@ -180,10 +180,9 @@ fn corrupted_signature_recovers_by_recomputation() {
         recomputed.prediction_json, cold.prediction_json,
         "recomputation reproduces the original canonical artifact"
     );
-    assert!(svc.store().report().evicted_corrupt > 0);
+    assert!(svc.store_report().evicted_corrupt > 0);
     assert!(svc
-        .store()
-        .diagnostics()
+        .store_diagnostics()
         .iter()
         .any(|d| d.code == "STORE-CORRUPT-001"));
 
@@ -198,7 +197,7 @@ fn corrupted_signature_recovers_by_recomputation() {
 fn serve_loop_two_apps_two_machines_end_to_end() {
     let _serial = serial();
     let root = temp_root("e2e");
-    let mut svc = service(&root);
+    let svc = service(&root);
 
     let mut input = String::new();
     for _round in 0..2 {
